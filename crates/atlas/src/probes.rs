@@ -1,0 +1,79 @@
+//! Selection of RIPE-Atlas-like probe hosts.
+//!
+//! The real system traceroutes from ~1000 randomly selected RIPE Atlas
+//! probes to each source daily (Q1). In the simulator, "Atlas probes" are
+//! ping-responsive hosts scattered across stub ASes.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use revtr_netsim::{Addr, AsTier, Sim};
+
+/// Select up to `n` Atlas-like probe hosts: responsive hosts in distinct
+/// randomly-chosen stub/edu prefixes. Deterministic in `seed`.
+pub fn select_atlas_probes(sim: &Sim, n: usize, seed: u64) -> Vec<Addr> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa71a5);
+    let mut prefixes: Vec<_> = sim
+        .topo()
+        .prefixes
+        .iter()
+        .filter(|p| {
+            matches!(
+                sim.topo().asn(p.owner).tier,
+                AsTier::Stub | AsTier::Transit
+            )
+        })
+        .map(|p| p.id)
+        .collect();
+    prefixes.shuffle(&mut rng);
+
+    let mut out = Vec::with_capacity(n);
+    for pid in prefixes {
+        if out.len() >= n {
+            break;
+        }
+        // Pick a random responsive host in the prefix (a few tries).
+        for _ in 0..6 {
+            let off = rng.gen_range(10..=250u32);
+            let cand = Addr(sim.topo().prefix(pid).prefix.base.0 + off);
+            if sim.behavior().host_ping_responsive(cand) && !sim.is_vp_host(cand) {
+                out.push(cand);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_netsim::SimConfig;
+
+    #[test]
+    fn probes_are_responsive_unique_hosts() {
+        let sim = Sim::build(SimConfig::tiny(), 13);
+        let probes = select_atlas_probes(&sim, 40, 1);
+        assert!(probes.len() >= 20, "too few probes: {}", probes.len());
+        let mut uniq = probes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), probes.len());
+        for &p in &probes {
+            assert!(sim.behavior().host_ping_responsive(p));
+            assert!(sim.host_prefix(p).is_some());
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed() {
+        let sim = Sim::build(SimConfig::tiny(), 13);
+        assert_eq!(
+            select_atlas_probes(&sim, 20, 5),
+            select_atlas_probes(&sim, 20, 5)
+        );
+        assert_ne!(
+            select_atlas_probes(&sim, 20, 5),
+            select_atlas_probes(&sim, 20, 6)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! One bench per paper table/figure: each measures the cost of
+//! regenerating that artefact on a reduced-scale simulated Internet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revtr_bench::BenchEnv;
+use revtr_eval::{
+    ablation, accuracy, as_graph, asymmetry, atlas_study, dbr_violations, responsiveness,
+    symmetry_assumption, traffic_eng, vp_selection,
+};
+use std::hint::black_box;
+
+fn bench_table2_symmetry(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    c.bench_function("table2_symmetry_assumption", |b| {
+        b.iter(|| black_box(symmetry_assumption::run(&env.ctx, &ingress, 30)))
+    });
+}
+
+fn bench_table3_asgraph(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    c.bench_function("table3_as_graph", |b| {
+        b.iter(|| black_box(as_graph::run(&env.ctx, &ingress)))
+    });
+}
+
+fn bench_table4_packets(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    let workload = env.ctx.workload();
+    c.bench_function("table4_packet_ablation", |b| {
+        b.iter(|| black_box(ablation::run(&env.ctx, &ingress, &workload)))
+    });
+}
+
+fn bench_fig5_accuracy(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    let workload = env.ctx.workload();
+    c.bench_function("fig5_accuracy_coverage", |b| {
+        b.iter(|| black_box(accuracy::run(&env.ctx, &ingress, &workload)))
+    });
+}
+
+fn bench_fig6_table5_vp_selection(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    c.bench_function("fig6_table5_vp_selection", |b| {
+        b.iter(|| black_box(vp_selection::run(&env.ctx)))
+    });
+}
+
+fn bench_fig7_traffic_eng(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    c.bench_function("fig7_traffic_engineering", |b| {
+        b.iter(|| black_box(traffic_eng::run(&env.ctx)))
+    });
+}
+
+fn bench_fig8_table7_asymmetry(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    let workload = env.ctx.workload();
+    c.bench_function("fig8_table7_asymmetry", |b| {
+        b.iter(|| black_box(asymmetry::run(&env.ctx, &ingress, &workload)))
+    });
+}
+
+fn bench_fig9_atlas(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let data = atlas_study::collect_split(&env.ctx, 20, 2);
+    c.bench_function("fig9abc_atlas_selection", |b| {
+        b.iter(|| black_box(atlas_study::run_selection_study(&data, 3)))
+    });
+    let ingress = env.ingress();
+    c.bench_function("fig9d_staleness", |b| {
+        b.iter(|| black_box(atlas_study::run_staleness(&env.ctx, &ingress)))
+    });
+}
+
+fn bench_table6_fig11_responsiveness(c: &mut Criterion) {
+    let scale = revtr_bench::bench_scale();
+    c.bench_function("table6_fig11_responsiveness", |b| {
+        b.iter(|| black_box(responsiveness::run(scale)))
+    });
+}
+
+fn bench_appx_e_violations(c: &mut Criterion) {
+    let env = BenchEnv::new();
+    let ingress = env.ingress();
+    c.bench_function("appxE_dbr_violations", |b| {
+        b.iter(|| black_box(dbr_violations::run(&env.ctx, &ingress, 40)))
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table2_symmetry,
+        bench_table3_asgraph,
+        bench_table4_packets,
+        bench_fig5_accuracy,
+        bench_fig6_table5_vp_selection,
+        bench_fig7_traffic_eng,
+        bench_fig8_table7_asymmetry,
+        bench_fig9_atlas,
+        bench_table6_fig11_responsiveness,
+        bench_appx_e_violations,
+);
+criterion_main!(experiments);

@@ -1,0 +1,60 @@
+//! Shared fixtures for the revtr benchmarks.
+//!
+//! Every bench target regenerates one of the paper's tables or figures at
+//! a reduced scale (Criterion measures the regeneration cost; the bench
+//! *output values* are produced by `cargo run --example reproduce_all`).
+
+use revtr_eval::context::{EvalContext, EvalScale};
+use revtr_netsim::SimConfig;
+use revtr_probing::Prober;
+use revtr_vpselect::{Heuristics, IngressDb};
+use std::sync::Arc;
+
+/// The scale used by bench targets: small enough for Criterion's repeated
+/// sampling, large enough to exercise every code path.
+pub fn bench_scale() -> EvalScale {
+    let mut s = EvalScale::smoke();
+    s.prefix_sample = 25;
+    s.n_revtrs = 20;
+    s.atlas_size = 25;
+    s.atlas_pool = 100;
+    s.n_sources = 2;
+    s
+}
+
+/// A ready evaluation context at bench scale.
+pub fn bench_context() -> EvalContext {
+    EvalContext::new(SimConfig::tiny(), bench_scale())
+}
+
+/// A context plus its (expensive, shared) ingress database.
+pub struct BenchEnv {
+    /// The evaluation context.
+    pub ctx: EvalContext,
+}
+
+impl BenchEnv {
+    /// Build the environment once per bench target.
+    pub fn new() -> BenchEnv {
+        BenchEnv {
+            ctx: bench_context(),
+        }
+    }
+
+    /// Build the ingress DB with a fresh prober.
+    pub fn ingress(&self) -> Arc<IngressDb> {
+        let prober = Prober::new(&self.ctx.sim);
+        Arc::new(IngressDb::build(
+            &prober,
+            &self.ctx.vps(),
+            &self.ctx.sampled_prefixes(),
+            Heuristics::FULL,
+        ))
+    }
+}
+
+impl Default for BenchEnv {
+    fn default() -> Self {
+        BenchEnv::new()
+    }
+}

@@ -1,0 +1,721 @@
+//! The Reverse Traceroute system: the control flow of Fig. 2.
+//!
+//! One engine implements both revtr 1.0 and revtr 2.0; [`EngineConfig`]
+//! selects the techniques. Per measurement, the loop is:
+//!
+//! 1. does the current hop intersect the source's traceroute atlas (via
+//!    the RR-atlas alias index, §4.2, or external alias data for 1.0)?
+//!    → complete with the atlas suffix;
+//! 2. can record route reveal the next reverse hop — first a direct RR
+//!    ping from the source, then spoofed batches from ingress-selected
+//!    vantage points (§4.3)?
+//! 3. (revtr 1.0 only) do timestamp adjacency tests confirm a next hop?
+//! 4. otherwise traceroute to the current hop and assume the last link is
+//!    symmetric — unconditionally for 1.0; only if intradomain for 2.0,
+//!    aborting rather than guessing across AS boundaries (§4.4).
+
+use crate::config::{EngineConfig, SymmetryPolicy, VpSelection};
+use crate::result::{HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status};
+use parking_lot::{Mutex, RwLock};
+use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
+use revtr_atlas::{Intersection, SourceAtlas};
+use revtr_netsim::hash::mix3;
+use revtr_netsim::{Addr, PrefixId, Sim};
+use revtr_probing::Prober;
+use revtr_vpselect::{IngressDb, IngressQueue};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Extract reverse hops from an RR reply to `dst`: the slots after the
+/// destination's own stamp (located by exact match, or by the Appx. C
+/// double-stamp pattern for loopback/private destinations). `None` when the
+/// stamp cannot be located — the reply is unusable.
+pub fn extract_reverse_hops(slots: &[Addr], dst: Addr) -> Option<Vec<Addr>> {
+    let pos = slots.iter().position(|&s| s == dst).or_else(|| {
+        slots.windows(2).position(|w| w[0] == w[1]).map(|p| p + 1)
+    })?;
+    Some(slots[pos + 1..].to_vec())
+}
+
+/// Ark-style adjacency dataset: address → neighbouring addresses.
+type AdjacencyDb = HashMap<Addr, Vec<Addr>>;
+
+/// The orchestrating system (Appx. A): sources, atlases, vantage points,
+/// and the measurement engine. Thread-safe; campaigns call
+/// [`RevtrSystem::measure`] concurrently.
+pub struct RevtrSystem<'s> {
+    sim: &'s Sim,
+    cfg: EngineConfig,
+    prober: Prober<'s>,
+    vps: Vec<Addr>,
+    ingress: Arc<IngressDb>,
+    ip2as: Ip2As,
+    rels: Arc<RelationshipDb>,
+    resolver: Arc<AliasResolver<'s>>,
+    atlas_pool: Vec<Addr>,
+    atlases: RwLock<HashMap<Addr, Arc<SourceAtlas>>>,
+    /// Per-source: alias cluster id → intersection (revtr 1.0's Q2).
+    alias_index: RwLock<HashMap<Addr, Arc<HashMap<u64, Intersection>>>>,
+    adjacency: RwLock<Option<Arc<AdjacencyDb>>>,
+    /// Extra adjacencies injected by the caller (the Fig. 5b / Appx. D.1
+    /// "ground truth adjacencies" experiment feeds oracle data here).
+    extra_adjacency: RwLock<HashMap<Addr, Vec<Addr>>>,
+    /// (source, trace) → times intersected, for the refresh policy.
+    usage: Mutex<HashMap<(Addr, usize), u64>>,
+    /// Per-source refresh generation (selects new random atlas probes).
+    generation: Mutex<HashMap<Addr, u64>>,
+}
+
+impl<'s> RevtrSystem<'s> {
+    /// Assemble a system.
+    ///
+    /// * `prober` supplies counters/clock/cache shared with any background
+    ///   measurement already performed (e.g. the `ingress` build);
+    /// * `vps` are the M-Lab-like spoof-capable vantage points;
+    /// * `atlas_pool` is the population of Atlas-like probe hosts atlases
+    ///   draw from.
+    pub fn new(
+        prober: Prober<'s>,
+        cfg: EngineConfig,
+        vps: Vec<Addr>,
+        ingress: Arc<IngressDb>,
+        atlas_pool: Vec<Addr>,
+    ) -> RevtrSystem<'s> {
+        let sim = prober.sim();
+        let prober = prober.with_cache_enabled(cfg.use_cache);
+        let ip2as = if cfg.registry_only_ip2as {
+            Ip2As::registry_only(sim)
+        } else {
+            Ip2As::new(sim)
+        };
+        RevtrSystem {
+            sim,
+            cfg,
+            ip2as,
+            rels: Arc::new(RelationshipDb::new(sim)),
+            resolver: Arc::new(AliasResolver::new(sim)),
+            prober,
+            vps,
+            ingress,
+            atlas_pool,
+            atlases: RwLock::new(HashMap::new()),
+            alias_index: RwLock::new(HashMap::new()),
+            adjacency: RwLock::new(None),
+            extra_adjacency: RwLock::new(HashMap::new()),
+            usage: Mutex::new(HashMap::new()),
+            generation: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared prober (counters, clock, cache).
+    pub fn prober(&self) -> &Prober<'s> {
+        &self.prober
+    }
+
+    /// The simulator.
+    pub fn sim(&self) -> &'s Sim {
+        self.sim
+    }
+
+    /// The vantage points.
+    pub fn vps(&self) -> &[Addr] {
+        &self.vps
+    }
+
+    /// The ingress database.
+    pub fn ingress_db(&self) -> &IngressDb {
+        &self.ingress
+    }
+
+    // ---- sources & atlases ---------------------------------------------------
+
+    /// Choose this generation's atlas probes for a source.
+    fn pick_atlas_probes(&self, src: Addr, keep: &[Addr]) -> Vec<Addr> {
+        let generation = *self.generation.lock().entry(src).or_insert(0);
+        let mut out: Vec<Addr> = keep.to_vec();
+        let want = self.cfg.atlas_size;
+        let n = self.atlas_pool.len();
+        if n == 0 {
+            return out;
+        }
+        let mut i = 0u64;
+        while out.len() < want.min(n) && i < (n as u64) * 4 {
+            let idx =
+                (mix3(self.sim.seed() ^ 0xa71c, src.0 as u64, generation ^ (i << 20)) % n as u64)
+                    as usize;
+            let cand = self.atlas_pool[idx];
+            if !out.contains(&cand) && cand != src {
+                out.push(cand);
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Register `src` as a reverse traceroute source: build its traceroute
+    /// atlas (and RR-atlas, per config). This is the source bootstrap of
+    /// Appx. A (~15 virtual minutes of measurement).
+    pub fn register_source(&self, src: Addr) {
+        if self.atlases.read().contains_key(&src) {
+            return;
+        }
+        let probes = self.pick_atlas_probes(src, &[]);
+        let atlas = Arc::new(SourceAtlas::build(
+            &self.prober,
+            src,
+            &probes,
+            self.cfg.use_rr_atlas,
+        ));
+        self.atlases.write().insert(src, atlas);
+        self.alias_index.write().remove(&src);
+        self.adjacency.write().take();
+    }
+
+    /// Refresh a source's atlas (the daily cycle of Q1): traces that were
+    /// intersected since the last refresh keep their probes; the rest are
+    /// replaced with freshly drawn ones.
+    pub fn refresh_atlas(&self, src: Addr) {
+        let Some(old) = self.atlases.read().get(&src).cloned() else {
+            self.register_source(src);
+            return;
+        };
+        let used: Vec<Addr> = {
+            let usage = self.usage.lock();
+            old.traces
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| usage.get(&(src, *i)).copied().unwrap_or(0) > 0)
+                .map(|(_, t)| t.vp)
+                .collect()
+        };
+        *self.generation.lock().entry(src).or_insert(0) += 1;
+        let probes = self.pick_atlas_probes(src, &used);
+        let atlas = Arc::new(SourceAtlas::build(
+            &self.prober,
+            src,
+            &probes,
+            self.cfg.use_rr_atlas,
+        ));
+        self.atlases.write().insert(src, atlas);
+        self.alias_index.write().remove(&src);
+        self.adjacency.write().take();
+        let mut usage = self.usage.lock();
+        usage.retain(|(s, _), _| *s != src);
+    }
+
+    /// The current atlas for a source (auto-registers on first use).
+    pub fn atlas(&self, src: Addr) -> Arc<SourceAtlas> {
+        if let Some(a) = self.atlases.read().get(&src) {
+            return a.clone();
+        }
+        self.register_source(src);
+        self.atlases
+            .read()
+            .get(&src)
+            .cloned()
+            .expect("register_source populates the atlas")
+    }
+
+    /// Registered sources.
+    pub fn sources(&self) -> Vec<Addr> {
+        self.atlases.read().keys().copied().collect()
+    }
+
+    // ---- intersection (Q2) -----------------------------------------------------
+
+    fn alias_index_for(&self, src: Addr, atlas: &SourceAtlas) -> Arc<HashMap<u64, Intersection>> {
+        if let Some(m) = self.alias_index.read().get(&src) {
+            return m.clone();
+        }
+        let mut m: HashMap<u64, Intersection> = HashMap::new();
+        for (addr, inter) in atlas.indexed_addrs() {
+            for id in [self.resolver.snmp_id(addr), self.resolver.midar_id(addr)]
+                .into_iter()
+                .flatten()
+            {
+                m.entry(id).or_insert(inter);
+            }
+        }
+        let m = Arc::new(m);
+        self.alias_index.write().insert(src, m.clone());
+        m
+    }
+
+    /// Does `addr` intersect the atlas? With the RR-atlas the index already
+    /// holds every RR-visible alias; in revtr 1.0 mode we additionally
+    /// consult the external alias datasets (MIDAR-lite / SNMP).
+    fn lookup_intersection(&self, src: Addr, atlas: &SourceAtlas, addr: Addr) -> Option<Intersection> {
+        if let Some(i) = atlas.lookup(addr) {
+            return Some(i);
+        }
+        if self.cfg.use_alias_datasets {
+            let idx = self.alias_index_for(src, atlas);
+            for id in [self.resolver.snmp_id(addr), self.resolver.midar_id(addr)]
+                .into_iter()
+                .flatten()
+            {
+                if let Some(&i) = idx.get(&id) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    // ---- adjacency dataset (Q4) ---------------------------------------------------
+
+    fn adjacencies(&self) -> Arc<AdjacencyDb> {
+        if let Some(a) = self.adjacency.read().as_ref() {
+            return a.clone();
+        }
+        // Ark-style adjacency extraction: consecutive responsive hops of
+        // every atlas traceroute, both directions.
+        let mut adj: HashMap<Addr, Vec<Addr>> = HashMap::new();
+        for atlas in self.atlases.read().values() {
+            for t in &atlas.traces {
+                let hops: Vec<Addr> = t.hops.iter().filter_map(|h| *h).collect();
+                for w in hops.windows(2) {
+                    if w[0] != w[1] {
+                        adj.entry(w[0]).or_default().push(w[1]);
+                        adj.entry(w[1]).or_default().push(w[0]);
+                    }
+                }
+            }
+        }
+        for v in adj.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let adj = Arc::new(adj);
+        *self.adjacency.write() = Some(adj.clone());
+        adj
+    }
+
+    // ---- helpers ------------------------------------------------------------------
+
+    /// True if `addr` means we have arrived at the source.
+    fn reached(&self, addr: Addr, src: Addr, src_prefix: Option<PrefixId>) -> bool {
+        addr == src || (src_prefix.is_some() && self.sim.host_prefix(addr) == src_prefix)
+            || (src_prefix.is_some() && self.sim.topo().prefix_of(addr) == src_prefix)
+    }
+
+    /// See [`extract_reverse_hops`].
+    fn extract_reverse(slots: &[Addr], cur: Addr) -> Option<Vec<Addr>> {
+        extract_reverse_hops(slots, cur)
+    }
+
+    /// Inject additional adjacency data for the timestamp technique (used
+    /// by the Appx. D.1 "perfect adjacencies" experiment).
+    pub fn set_extra_adjacencies(&self, map: HashMap<Addr, Vec<Addr>>) {
+        *self.extra_adjacency.write() = map;
+    }
+
+    /// The ingress-plan key for a probe target: its announced prefix, or
+    /// (for infrastructure addresses) the first announced prefix of the
+    /// block-owning AS — ingresses are shared across an AS's prefixes.
+    fn plan_key(&self, addr: Addr) -> Option<PrefixId> {
+        if let Some(p) = self.sim.topo().prefix_of(addr) {
+            return Some(p);
+        }
+        let owner = self.sim.topo().block_owner(addr)?;
+        self.sim.topo().asn(owner).prefixes.first().copied()
+    }
+
+    /// VP queues for probing `cur` under the configured selection policy.
+    fn vp_queues(&self, cur: Addr) -> Vec<IngressQueue> {
+        match self.cfg.vp_selection {
+            VpSelection::Ingress => {
+                let plan = self
+                    .plan_key(cur)
+                    .map(|p| self.ingress.ingress_plan(p))
+                    .unwrap_or_default();
+                if !plan.is_empty() {
+                    return plan;
+                }
+                // Never-probed prefix: fall back to the global head.
+                vec![IngressQueue {
+                    expected_ingress: None,
+                    vps: self.ingress.global_plan().iter().copied().take(9).collect(),
+                }]
+            }
+            VpSelection::SetCover => {
+                let vps = self
+                    .plan_key(cur)
+                    .map(|p| self.ingress.revtr1_plan(p))
+                    .unwrap_or_else(|| self.ingress.global_plan().to_vec());
+                vec![IngressQueue {
+                    expected_ingress: None,
+                    vps,
+                }]
+            }
+            VpSelection::Global => vec![IngressQueue {
+                expected_ingress: None,
+                vps: self.ingress.global_plan().to_vec(),
+            }],
+        }
+    }
+
+    /// The record-route step: direct RR from the source, then spoofed
+    /// batches. Returns newly discovered reverse hops (may be empty).
+    fn rr_step(
+        &self,
+        cur: Addr,
+        src: Addr,
+        path_set: &HashSet<Addr>,
+        stats: &mut RevtrStats,
+    ) -> (Vec<Addr>, bool) {
+        let novel = |hops: &[Addr]| -> Vec<Addr> {
+            let mut out = Vec::new();
+            let mut seen = path_set.clone();
+            for &h in hops {
+                if seen.insert(h) {
+                    out.push(h);
+                }
+            }
+            out
+        };
+
+        // Direct (non-spoofed) RR ping from the source.
+        if let Some(reply) = self.prober.rr_ping(src, cur) {
+            if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
+                let new = novel(&rev);
+                if !new.is_empty() {
+                    return (new, false);
+                }
+            }
+        }
+
+        // Spoofed batches from the VP plan.
+        let queues = self.vp_queues(cur);
+        let mut cursors: Vec<usize> = vec![0; queues.len()];
+        let mut active: Vec<usize> = (0..queues.len()).collect();
+        while !active.is_empty() {
+            // Compose a batch: the current VP of up to `batch_size`
+            // distinct queues, in order.
+            let mut batch: Vec<(usize, Addr)> = Vec::new();
+            for &qi in active.iter().take(self.cfg.batch_size) {
+                batch.push((qi, queues[qi].vps[cursors[qi]]));
+            }
+            let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, cur)).collect();
+            let replies = self.prober.spoofed_rr_batch(&pairs, src);
+            stats.batches += 1;
+
+            let mut best: Vec<Addr> = Vec::new();
+            for ((qi, _vp), reply) in batch.iter().zip(replies) {
+                let q = &queues[*qi];
+                let usable = reply.as_ref().and_then(|r| {
+                    // The probe must have traversed the expected ingress.
+                    if let Some(ing) = q.expected_ingress {
+                        if !r.slots.contains(&ing) {
+                            return None;
+                        }
+                    }
+                    Self::extract_reverse(&r.slots, cur)
+                });
+                if let Some(rev) = usable {
+                    let new = novel(&rev);
+                    if new.len() > best.len() {
+                        best = new;
+                    }
+                }
+            }
+            if !best.is_empty() {
+                return (best, true);
+            }
+            // Nothing came back: every probed queue advances to its next
+            // (less close) VP — whether it failed the ingress check, went
+            // unanswered, or answered without revealing new hops.
+            let advanced: HashSet<usize> = batch.iter().map(|&(qi, _)| qi).collect();
+            for qi in advanced {
+                cursors[qi] += 1;
+            }
+            active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
+        }
+        (Vec::new(), true)
+    }
+
+    /// The timestamp step (revtr 1.0 only): test traceroute-derived
+    /// adjacencies of `cur` with TS-prespec probes.
+    fn ts_step(&self, cur: Addr, src: Addr, path_set: &HashSet<Addr>) -> Option<Addr> {
+        let adj_db = self.adjacencies();
+        let extra = self.extra_adjacency.read();
+        let mut cands: Vec<Addr> = Vec::new();
+        for key in [Some(cur), cur.p2p30_peer()].into_iter().flatten() {
+            if let Some(v) = extra.get(&key) {
+                cands.extend(v.iter().copied());
+            }
+            if let Some(v) = adj_db.get(&key) {
+                cands.extend(v.iter().copied());
+            }
+        }
+        cands.retain(|a| !path_set.contains(a));
+        cands.truncate(self.cfg.max_ts_adjacencies);
+        for adj in cands {
+            let reply = self.prober.ts_ping(src, cur, &[cur, adj]);
+            match reply {
+                None => return None, // destination ignores TS: stop trying
+                Some(r) if r.filled >= 2 => return Some(adj),
+                Some(r) if r.filled == 1 => {
+                    // The current hop stamped but the adjacency did not;
+                    // retry once spoofed from the closest vantage point (the
+                    // forward path may have consumed the stamp order).
+                    if let Some(&vp) = self.vps.first() {
+                        let replies = self
+                            .prober
+                            .spoofed_ts_batch(&[(vp, cur, vec![cur, adj])], src);
+                        if let Some(Some(r2)) = replies.into_iter().next() {
+                            if r2.filled >= 2 {
+                                return Some(adj);
+                            }
+                        }
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    /// The symmetry step (Q5): traceroute to `cur`, take the penultimate
+    /// hop, and decide by link locality. Returns `(hop, interdomain)`.
+    fn symmetry_step(&self, cur: Addr, src: Addr) -> Option<(Addr, bool)> {
+        let tr = self.prober.traceroute(src, cur)?;
+        // The last responsive hop that is not the destination itself.
+        let penult = tr
+            .hops
+            .iter()
+            .rev()
+            .flatten()
+            .find(|&&h| h != cur)
+            .copied()?;
+        let a = self.ip2as.map(penult);
+        let b = self.ip2as.map(cur);
+        let interdomain = match (a, b) {
+            (Some(x), Some(y)) => x != y,
+            _ => true, // unmappable: cannot vouch for locality
+        };
+        Some((penult, interdomain))
+    }
+
+    // ---- the measurement loop ---------------------------------------------------
+
+    /// Measure the reverse path from `dst` back to `src` (Fig. 2).
+    pub fn measure(&self, dst: Addr, src: Addr) -> RevtrResult {
+        let atlas = self.atlas(src);
+        let t0 = self.prober.clock().now_s();
+        let snap0 = self.prober.counters().snapshot();
+        let mut stats = RevtrStats::default();
+        let src_prefix = self.sim.host_prefix(src);
+
+        let finish = |status: Status, hops: Vec<RevtrHop>, mut stats: RevtrStats| {
+            stats.duration_s = self.prober.clock().now_s() - t0;
+            stats.probes =
+                ProbeDelta::from_snapshot(&self.prober.counters().snapshot().since(&snap0));
+            let mut r = RevtrResult {
+                dst,
+                src,
+                status,
+                hops,
+                stats,
+            };
+            self.flag_suspicious(&mut r);
+            r
+        };
+
+        // The destination must answer something.
+        if self.prober.ping(src, dst).is_none() {
+            return finish(Status::Unresponsive, Vec::new(), stats);
+        }
+
+        let mut hops = vec![RevtrHop {
+            addr: Some(dst),
+            method: HopMethod::Destination,
+            suspicious_gap_before: false,
+        }];
+        let mut path_set: HashSet<Addr> = [dst].into();
+        let mut cur = dst;
+
+        for _ in 0..self.cfg.max_path_hops {
+            if self.reached(cur, src, src_prefix) {
+                return finish(Status::Complete, hops, stats);
+            }
+
+            // 1. Atlas intersection.
+            if let Some(inter) = self.lookup_intersection(src, &atlas, cur) {
+                *self.usage.lock().entry((src, inter.trace)).or_insert(0) += 1;
+                stats.intersected_trace = Some(inter.trace);
+                stats.intersected_hop = Some(inter.hop);
+                stats.intersected_trace_age_h =
+                    Some(atlas.trace_age_hours(inter, self.sim.now_hours()));
+                let suffix = atlas.suffix(inter);
+                for (i, h) in suffix.iter().enumerate() {
+                    if i == 0 && *h == Some(cur) {
+                        continue; // already in the path
+                    }
+                    stats.atlas_hops += 1;
+                    hops.push(RevtrHop {
+                        addr: *h,
+                        method: HopMethod::AtlasIntersection,
+                        suspicious_gap_before: false,
+                    });
+                }
+                return finish(Status::Complete, hops, stats);
+            }
+
+            // 2. Record route.
+            let (rev, spoofed) = self.rr_step(cur, src, &path_set, &mut stats);
+            if self.cfg.verify_dbr && rev.len() >= 2 {
+                // Appx. E optional mode: re-probe the first revealed hop
+                // and confirm the chain continues the same way; flag the
+                // measurement when destination-based routing is violated.
+                if let Some(first) = rev.first().copied().filter(|a| !a.is_private()) {
+                    let expected = rev[1];
+                    let (verify, _) = self.rr_step(first, src, &path_set, &mut stats);
+                    if !verify.is_empty()
+                        && !verify
+                            .iter()
+                            .any(|&h| h == expected || self.resolver.hop_match(h, expected))
+                    {
+                        stats.dbr_violation_detected = true;
+                    }
+                }
+            }
+            if !rev.is_empty() {
+                let method = if spoofed {
+                    HopMethod::SpoofedRecordRoute
+                } else {
+                    HopMethod::RecordRoute
+                };
+                for &h in &rev {
+                    path_set.insert(h);
+                    hops.push(RevtrHop {
+                        addr: Some(h),
+                        method,
+                        suspicious_gap_before: false,
+                    });
+                }
+                // Continue from the last routable hop.
+                if let Some(&next) = rev.iter().rev().find(|a| !a.is_private()) {
+                    cur = next;
+                    continue;
+                }
+            }
+
+            // 3. Timestamp (revtr 1.0).
+            if self.cfg.use_timestamp {
+                if let Some(adj) = self.ts_step(cur, src, &path_set) {
+                    path_set.insert(adj);
+                    hops.push(RevtrHop {
+                        addr: Some(adj),
+                        method: HopMethod::Timestamp,
+                        suspicious_gap_before: false,
+                    });
+                    cur = adj;
+                    continue;
+                }
+            }
+
+            // 4. Assume symmetry / abort.
+            let Some((penult, interdomain)) = self.symmetry_step(cur, src) else {
+                return finish(Status::Stuck, hops, stats);
+            };
+            if path_set.contains(&penult) {
+                return finish(Status::Stuck, hops, stats);
+            }
+            if interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly {
+                return finish(Status::AbortedInterdomain, hops, stats);
+            }
+            stats.assumed_symmetric += 1;
+            if interdomain {
+                stats.assumed_interdomain += 1;
+            }
+            path_set.insert(penult);
+            hops.push(RevtrHop {
+                addr: Some(penult),
+                method: HopMethod::AssumedSymmetric,
+                suspicious_gap_before: false,
+            });
+            cur = penult;
+        }
+        finish(Status::Stuck, hops, stats)
+    }
+
+    /// Flag suspicious AS gaps (§5.2.2): a small AS apparently adjacent to
+    /// a provider-of-its-provider with no known relationship suggests a
+    /// router that forwards RR packets without stamping.
+    fn flag_suspicious(&self, r: &mut RevtrResult) {
+        let mut prev_as: Option<revtr_netsim::AsId> = None;
+        for i in 0..r.hops.len() {
+            let Some(addr) = r.hops[i].addr else { continue };
+            let Some(a) = self.ip2as.map(addr) else { continue };
+            if let Some(p) = prev_as {
+                if p != a
+                    && (self.rels.is_suspicious_link(p, a) || self.rels.is_suspicious_link(a, p))
+                {
+                    r.hops[i].suspicious_gap_before = true;
+                }
+            }
+            prev_as = Some(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Addr {
+        Addr(0x0B00_0000 + n)
+    }
+
+    #[test]
+    fn extract_reverse_locates_exact_stamp() {
+        let dst = a(5);
+        let slots = [a(1), a(2), dst, a(7), a(8)];
+        assert_eq!(
+            extract_reverse_hops(&slots, dst),
+            Some(vec![a(7), a(8)])
+        );
+    }
+
+    #[test]
+    fn extract_reverse_uses_double_stamp_fallback() {
+        let dst = a(5);
+        // Loopback destination: stamps `lo` twice, never `dst` itself.
+        let lo = a(99);
+        let slots = [a(1), lo, lo, a(7)];
+        assert_eq!(extract_reverse_hops(&slots, dst), Some(vec![a(7)]));
+    }
+
+    #[test]
+    fn extract_reverse_rejects_unlocatable_stamps() {
+        let dst = a(5);
+        let slots = [a(1), a(2), a(3)];
+        assert_eq!(extract_reverse_hops(&slots, dst), None);
+        assert_eq!(extract_reverse_hops(&[], dst), None);
+    }
+
+    #[test]
+    fn extract_reverse_empty_tail_when_stamp_is_last() {
+        let dst = a(5);
+        let slots = [a(1), a(2), dst];
+        assert_eq!(extract_reverse_hops(&slots, dst), Some(vec![]));
+    }
+
+    #[test]
+    fn extract_reverse_prefers_exact_over_double() {
+        // Both signals present: the destination's own stamp wins, so the
+        // duplicate pair later is treated as reverse hops.
+        let dst = a(5);
+        let slots = [a(1), dst, a(9), a(9)];
+        assert_eq!(
+            extract_reverse_hops(&slots, dst),
+            Some(vec![a(9), a(9)])
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! `revtr-cli` — drive the reverse traceroute reproduction from the shell.
+//!
+//! ```text
+//! revtr-cli topology  [--era tiny|2016|2020] [--seed N]
+//! revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst A.B.C.D|auto] [--src A.B.C.D|auto]
+//! revtr-cli reproduce [--scale smoke|standard] [--out DIR]
+//! ```
+
+use revtr::{EngineConfig, HopMethod, RevtrSystem};
+use revtr_atlas::select_atlas_probes;
+use revtr_eval::context::EvalScale;
+use revtr_eval::reproduce;
+use revtr_netsim::{Addr, AsTier, Sim, SimConfig};
+use revtr_probing::Prober;
+use revtr_vpselect::{Heuristics, IngressDb};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  revtr-cli topology  [--era tiny|2016|2020] [--seed N]\n  \
+         revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst ADDR|auto] [--src ADDR|auto]\n  \
+         revtr-cli reproduce [--scale smoke|standard] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        out.insert(key.to_string(), value.clone());
+    }
+    Some(out)
+}
+
+fn build_sim(flags: &HashMap<String, String>) -> Option<Sim> {
+    let era = flags.get("era").map(|s| s.as_str()).unwrap_or("tiny");
+    let cfg = match era {
+        "tiny" => SimConfig::tiny(),
+        "2016" => SimConfig::era_2016(),
+        "2020" => SimConfig::era_2020(),
+        other => {
+            eprintln!("unknown era {other:?}");
+            return None;
+        }
+    };
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .ok()?
+        .unwrap_or(1);
+    Some(Sim::build(cfg, seed))
+}
+
+fn parse_addr(s: &str) -> Option<Addr> {
+    let parts: Vec<u8> = s
+        .split('.')
+        .map(|p| p.parse().ok())
+        .collect::<Option<Vec<u8>>>()?;
+    if parts.len() != 4 {
+        return None;
+    }
+    Some(Addr::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+fn cmd_topology(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(sim) = build_sim(flags) else {
+        return ExitCode::from(2);
+    };
+    let topo = sim.topo();
+    println!("{sim:?}");
+    let mut by_tier: HashMap<&str, usize> = HashMap::new();
+    for a in &topo.ases {
+        *by_tier
+            .entry(match a.tier {
+                AsTier::Tier1 => "tier1",
+                AsTier::Transit => "transit",
+                AsTier::Stub => "stub",
+                AsTier::Nren => "nren",
+            })
+            .or_insert(0) += 1;
+    }
+    println!("ASes by tier: {by_tier:?}");
+    println!(
+        "colo ASes: {}  edu stubs: {}  MPLS backbones: {}",
+        topo.ases.iter().filter(|a| a.colo).count(),
+        topo.ases.iter().filter(|a| a.edu).count(),
+        topo.ases.iter().filter(|a| a.mpls).count(),
+    );
+    println!(
+        "VP sites: {} ({} legacy-2016)",
+        topo.vp_sites.len(),
+        topo.vp_sites.iter().filter(|v| v.legacy_2016).count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(sim) = build_sim(flags) else {
+        return ExitCode::from(2);
+    };
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let src = match flags.get("src").map(|s| s.as_str()).unwrap_or("auto") {
+        "auto" => vps[0],
+        s => match parse_addr(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("bad --src address");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let dst = match flags.get("dst").map(|s| s.as_str()).unwrap_or("auto") {
+        "auto" => {
+            let Some(d) = sim.topo().prefixes.iter().find_map(|pe| {
+                sim.host_addrs(pe.id)
+                    .find(|&a| sim.behavior().host_rr_responsive(a) && a != src)
+            }) else {
+                eprintln!("no responsive destination found");
+                return ExitCode::FAILURE;
+            };
+            d
+        }
+        s => match parse_addr(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("bad --dst address");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    eprintln!("building background services (ingress DB, atlas pool)...");
+    let prober = Prober::new(&sim);
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(&sim, 200, 7);
+    let mut cfg = match flags.get("engine").map(|s| s.as_str()).unwrap_or("2") {
+        "1" => EngineConfig::revtr1(),
+        "2" => EngineConfig::revtr2(),
+        other => {
+            eprintln!("unknown engine {other:?} (use 1 or 2)");
+            return ExitCode::from(2);
+        }
+    };
+    cfg.atlas_size = 100;
+    let system = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+
+    println!("reverse traceroute from {dst} back to {src}:");
+    let r = system.measure(dst, src);
+    for (i, hop) in r.hops.iter().enumerate() {
+        let addr = hop
+            .addr
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "*".to_string());
+        let how = match hop.method {
+            HopMethod::Destination => "destination",
+            HopMethod::AtlasIntersection => "atlas",
+            HopMethod::RecordRoute => "rr",
+            HopMethod::SpoofedRecordRoute => "spoofed-rr",
+            HopMethod::Timestamp => "ts",
+            HopMethod::AssumedSymmetric => "assumed-symmetric",
+        };
+        let star = if hop.suspicious_gap_before { " [*]" } else { "" };
+        println!("  {i:2}  {addr:<16} {how}{star}");
+    }
+    println!(
+        "status: {:?}  probes: {} option pkts  batches: {}  {:.1}s virtual",
+        r.status,
+        r.stats.probes.option_probes(),
+        r.stats.batches,
+        r.stats.duration_s
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_reproduce(flags: &HashMap<String, String>) -> ExitCode {
+    let scale = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
+        "smoke" => EvalScale::smoke(),
+        "standard" => EvalScale::standard(),
+        other => {
+            eprintln!("unknown scale {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = reproduce::run(scale);
+    println!("{}", rep.render());
+    if let Some(dir) = flags.get("out") {
+        match rep.save_tsvs(std::path::Path::new(dir)) {
+            Ok(()) => eprintln!("TSVs written to {dir}"),
+            Err(e) => {
+                eprintln!("could not write TSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "topology" => cmd_topology(&flags),
+        "measure" => cmd_measure(&flags),
+        "reproduce" => cmd_reproduce(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,134 @@
+//! Appx. B.2: how much does better border IP-to-AS mapping change the Q5
+//! intradomain/interdomain decision?
+//!
+//! The paper evaluates bdrmapit against its registry-priority mapping and
+//! finds the differences marginal (0.07% of symmetry assumptions flip
+//! intra→inter, 1.5% inter→intra; ±0.1% of trustworthy paths). We replay
+//! the ablation with our two mappings: registry-only origins (naive) vs
+//! origins corrected by interconnection data (the Arnold-et-al.-style
+//! default).
+
+use crate::context::EvalContext;
+use crate::render::Table;
+use crate::stats::fraction;
+use revtr::{EngineConfig, Status};
+use revtr_netsim::Addr;
+use revtr_vpselect::IngressDb;
+use std::sync::Arc;
+
+/// Outcomes of the mapping ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ip2AsAblationReport {
+    /// Measurements attempted.
+    pub attempted: usize,
+    /// Complete under the naive (registry-only) mapping.
+    pub complete_naive: usize,
+    /// Complete under the corrected mapping.
+    pub complete_full: usize,
+    /// Measurements complete under the corrected mapping but aborted under
+    /// the naive one (naive misread an intradomain link as interdomain —
+    /// lost coverage).
+    pub naive_lost: usize,
+    /// Measurements complete under naive but aborted under corrected
+    /// (naive misread an interdomain link as intradomain — kept an
+    /// untrustworthy path).
+    pub naive_kept_suspect: usize,
+}
+
+impl Ip2AsAblationReport {
+    /// Render the Appx. B.2 comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Appendix B.2: IP-to-AS mapping ablation (registry-only vs corrected)",
+            &["Metric", "Count", "Fraction of attempts"],
+        );
+        let frac = |n: usize| format!("{:.3}", fraction(n, self.attempted));
+        t.row(&[
+            "attempted".to_string(),
+            self.attempted.to_string(),
+            "-".into(),
+        ]);
+        t.row(&[
+            "complete (registry-only)".to_string(),
+            self.complete_naive.to_string(),
+            frac(self.complete_naive),
+        ]);
+        t.row(&[
+            "complete (corrected)".to_string(),
+            self.complete_full.to_string(),
+            frac(self.complete_full),
+        ]);
+        t.row(&[
+            "coverage lost by naive mapping (intra misread as inter)".to_string(),
+            self.naive_lost.to_string(),
+            frac(self.naive_lost),
+        ]);
+        t.row(&[
+            "suspect paths kept by naive mapping (inter misread as intra)".to_string(),
+            self.naive_kept_suspect.to_string(),
+            frac(self.naive_kept_suspect),
+        ]);
+        t
+    }
+}
+
+/// Run the ablation over a workload.
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    workload: &[(Addr, Addr)],
+) -> Ip2AsAblationReport {
+    let mut naive_cfg = EngineConfig::revtr2();
+    naive_cfg.registry_only_ip2as = true;
+    let prober_n = ctx.prober();
+    let sys_naive = ctx.build_system(prober_n, naive_cfg, ingress.clone());
+    let prober_f = ctx.prober();
+    let sys_full = ctx.build_system(prober_f, EngineConfig::revtr2(), ingress.clone());
+
+    let mut report = Ip2AsAblationReport::default();
+    for &(dst, src) in workload {
+        report.attempted += 1;
+        let rn = sys_naive.measure(dst, src);
+        let rf = sys_full.measure(dst, src);
+        if rn.complete() {
+            report.complete_naive += 1;
+        }
+        if rf.complete() {
+            report.complete_full += 1;
+        }
+        match (rn.status, rf.status) {
+            (Status::AbortedInterdomain, Status::Complete) => report.naive_lost += 1,
+            (Status::Complete, Status::AbortedInterdomain) => {
+                report.naive_kept_suspect += 1
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_vpselect::Heuristics;
+
+    #[test]
+    fn corrected_mapping_changes_few_decisions() {
+        let ctx = EvalContext::smoke();
+        let prober = ctx.prober();
+        let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
+        let workload = ctx.workload();
+        let report = run(&ctx, &ingress, &workload);
+        assert_eq!(report.attempted, workload.len());
+        assert!(report.complete_full > 0);
+        // The paper's conclusion: the mapping upgrade moves a small
+        // fraction of decisions, not the bulk of coverage.
+        let delta = report.naive_lost + report.naive_kept_suspect;
+        assert!(
+            delta * 3 <= report.attempted,
+            "mapping flips dominate: {delta}/{}",
+            report.attempted
+        );
+        assert_eq!(report.table().len(), 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! # revtr-eval — the paper's evaluation, regenerated
+//!
+//! One module per experiment; each produces the same rows/series the paper
+//! reports (scaled to the simulated Internet) and renders as text and TSV.
+//! See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod accuracy;
+pub mod as_graph;
+pub mod asymmetry;
+pub mod atlas_study;
+pub mod context;
+pub mod symmetry_assumption;
+pub mod throughput;
+pub mod vp_selection;
+pub mod dbr_violations;
+pub mod ip2as_ablation;
+pub mod render;
+pub mod reproduce;
+pub mod responsiveness;
+pub mod stats;
+pub mod traffic_eng;
+
+pub use context::{EvalContext, EvalScale};
+pub use render::{Figure, Series, Table};
+pub use stats::{fraction, linspace, Distribution};

@@ -1,0 +1,142 @@
+//! §5.2.4 / §3: measurement throughput of the implementation itself.
+//!
+//! The paper's revtr 2.0 sustains 173 reverse traceroutes per second
+//! (~15M/day) across its deployment. Here we measure what *this*
+//! implementation sustains on the simulated Internet: wall-clock
+//! throughput of the engine across worker threads (crossbeam), plus the
+//! probe cost per measurement. Absolute numbers describe the simulator,
+//! not the Internet — the interesting outputs are probes/revtr and the
+//! parallel scaling.
+
+use crate::context::EvalContext;
+use crate::render::Table;
+use revtr::EngineConfig;
+use revtr_netsim::Addr;
+use revtr_vpselect::IngressDb;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One throughput run's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputRun {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Measurements performed.
+    pub measured: usize,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Option probes sent (RR + spoofed RR + TS + spoofed TS).
+    pub option_probes: u64,
+}
+
+impl ThroughputRun {
+    /// Measurements per wall-clock second.
+    pub fn per_second(&self) -> f64 {
+        self.measured as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Extrapolated measurements per day.
+    pub fn per_day(&self) -> f64 {
+        self.per_second() * 86_400.0
+    }
+
+    /// Option probes per measurement.
+    pub fn probes_per_revtr(&self) -> f64 {
+        self.option_probes as f64 / self.measured.max(1) as f64
+    }
+}
+
+/// The throughput report: one run per worker count.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Runs, ascending worker count.
+    pub runs: Vec<ThroughputRun>,
+}
+
+/// Measure engine throughput over `workload` with 1, 2, 4, 8 workers.
+pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)]) -> ThroughputReport {
+    let mut runs = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let prober = ctx.prober();
+        let system = ctx.build_system(prober.clone(), EngineConfig::revtr2(), ingress.clone());
+        for &(_, src) in workload {
+            system.register_source(src);
+        }
+        let before = prober.counters().snapshot();
+        let next = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= workload.len() {
+                        break;
+                    }
+                    let (dst, src) = workload[i];
+                    let _ = system.measure(dst, src);
+                });
+            }
+        })
+        .expect("throughput worker panicked");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let d = prober.counters().snapshot().since(&before);
+        runs.push(ThroughputRun {
+            workers,
+            measured: workload.len(),
+            wall_s,
+            option_probes: d.option_probes(),
+        });
+    }
+    ThroughputReport { runs }
+}
+
+impl ThroughputReport {
+    /// Render the throughput summary.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Implementation throughput (revtr 2.0 engine, wall clock)",
+            &[
+                "Workers",
+                "revtrs",
+                "wall s",
+                "revtrs/s",
+                "revtrs/day",
+                "probes/revtr",
+            ],
+        );
+        for r in &self.runs {
+            t.row(&[
+                r.workers.to_string(),
+                r.measured.to_string(),
+                format!("{:.2}", r.wall_s),
+                format!("{:.0}", r.per_second()),
+                format!("{:.2e}", r.per_day()),
+                format!("{:.1}", r.probes_per_revtr()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_vpselect::Heuristics;
+
+    #[test]
+    fn throughput_scales_and_counts() {
+        let ctx = EvalContext::smoke();
+        let prober = ctx.prober();
+        let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
+        let workload = ctx.workload();
+        let report = run(&ctx, &ingress, &workload);
+        assert_eq!(report.runs.len(), 4);
+        for r in &report.runs {
+            assert_eq!(r.measured, workload.len());
+            assert!(r.wall_s > 0.0);
+            assert!(r.per_second() > 0.0);
+        }
+        assert_eq!(report.table().len(), 4);
+    }
+}

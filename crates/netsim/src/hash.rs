@@ -1,0 +1,73 @@
+//! Small deterministic hashing utilities (splitmix64-based).
+//!
+//! All stochastic-but-stable behaviour in the simulator (host responsiveness,
+//! stamping quirks, tie-breaks, load-balancer choices) flows through these so
+//! that a `(config, seed)` pair reproduces bit-for-bit.
+
+/// splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mix two words.
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(mix64(a) ^ b)
+}
+
+/// Mix three words.
+#[inline]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix64(mix2(a, b) ^ c)
+}
+
+/// Uniform `[0, 1)` from a hash input.
+#[inline]
+pub fn unit(x: u64) -> f64 {
+    // 53 high bits → mantissa.
+    (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Bernoulli draw with probability `p`, keyed by `x`.
+#[inline]
+pub fn chance(x: u64, p: f64) -> bool {
+    unit(x) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        // Consecutive inputs should not produce consecutive outputs.
+        let d = mix64(1).abs_diff(mix64(2));
+        assert!(d > 1 << 32);
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let mut sum = 0.0;
+        const N: u64 = 10_000;
+        for i in 0..N {
+            let u = unit(i);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn chance_rates_hold() {
+        let hits = (0..100_000).filter(|&i| chance(mix2(7, i), 0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

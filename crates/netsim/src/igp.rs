@@ -1,0 +1,211 @@
+//! Intradomain routing: per-AS all-pairs shortest paths over intra links.
+//!
+//! Every AS runs a hop-count IGP over its internal topology (a ring plus
+//! chords, from the generator). Tables are small (ASes have at most a few
+//! dozen routers) and precomputed once at `Sim::build` time.
+
+use crate::ids::{AsId, RouterId};
+use crate::topology::{LinkKind, Topology};
+use std::collections::HashMap;
+
+/// Sentinel for "unreachable" (never happens in generated topologies, whose
+/// intra graphs are connected, but kept for robustness).
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// IGP state for one AS.
+#[derive(Clone, Debug)]
+pub struct AsIgp {
+    /// Router ids of this AS, in topology order.
+    pub routers: Vec<RouterId>,
+    /// router id → local index.
+    index: HashMap<RouterId, usize>,
+    /// Flattened `n × n` hop-count matrix, `dist[i*n + j]`.
+    dist: Vec<u16>,
+}
+
+impl AsIgp {
+    /// Local index of a router, if it belongs to this AS.
+    #[inline]
+    pub fn local(&self, r: RouterId) -> Option<usize> {
+        self.index.get(&r).copied()
+    }
+
+    /// Hop distance between two routers of this AS.
+    pub fn dist(&self, a: RouterId, b: RouterId) -> u16 {
+        match (self.local(a), self.local(b)) {
+            (Some(i), Some(j)) => self.dist[i * self.routers.len() + j],
+            _ => UNREACHABLE,
+        }
+    }
+
+    #[inline]
+    fn dist_idx(&self, i: usize, j: usize) -> u16 {
+        self.dist[i * self.routers.len() + j]
+    }
+}
+
+/// IGP tables for every AS, indexed by [`AsId`].
+#[derive(Clone, Debug)]
+pub struct Igp {
+    tables: Vec<AsIgp>,
+}
+
+impl Igp {
+    /// Compute IGP tables for the whole topology.
+    pub fn build(topo: &Topology) -> Igp {
+        let tables = topo
+            .ases
+            .iter()
+            .map(|a| Self::build_as(topo, a.id))
+            .collect();
+        Igp { tables }
+    }
+
+    fn build_as(topo: &Topology, asid: AsId) -> AsIgp {
+        let routers = topo.asn(asid).routers.clone();
+        let n = routers.len();
+        let index: HashMap<RouterId, usize> =
+            routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+
+        // Local adjacency over intra links only.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &r) in routers.iter().enumerate() {
+            for &lid in &topo.router(r).links {
+                let l = topo.link(lid);
+                if let LinkKind::Intra(owner) = l.kind {
+                    if owner == asid {
+                        if let Some(&j) = index.get(&l.other(r)) {
+                            adj[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+
+        // BFS from every router.
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            dist[s * n + s] = 0;
+            queue.clear();
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[s * n + u];
+                for &v in &adj[u] {
+                    if dist[s * n + v] == UNREACHABLE {
+                        dist[s * n + v] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        AsIgp {
+            routers,
+            index,
+            dist,
+        }
+    }
+
+    /// IGP table of an AS.
+    #[inline]
+    pub fn table(&self, asid: AsId) -> &AsIgp {
+        &self.tables[asid.index()]
+    }
+
+    /// Hop distance between two routers of `asid`.
+    #[inline]
+    pub fn dist(&self, asid: AsId, a: RouterId, b: RouterId) -> u16 {
+        self.tables[asid.index()].dist(a, b)
+    }
+
+    /// All intra-AS neighbor routers of `r` (with the connecting link) that
+    /// lie one hop closer to `target`, i.e. the equal-cost next-hop set.
+    /// Sorted for determinism. Empty if `r == target` or target unreachable.
+    pub fn next_hops_toward(
+        &self,
+        topo: &Topology,
+        r: RouterId,
+        target: RouterId,
+    ) -> Vec<(crate::ids::LinkId, RouterId)> {
+        let asid = topo.router_as(r);
+        debug_assert_eq!(asid, topo.router_as(target));
+        let t = self.table(asid);
+        let (Some(i), Some(j)) = (t.local(r), t.local(target)) else {
+            return Vec::new();
+        };
+        let d = t.dist_idx(i, j);
+        if d == 0 || d == UNREACHABLE {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &lid in &topo.router(r).links {
+            let l = topo.link(lid);
+            if !matches!(l.kind, LinkKind::Intra(owner) if owner == asid) {
+                continue;
+            }
+            let n = l.other(r);
+            if let Some(k) = t.local(n) {
+                if t.dist_idx(k, j) + 1 == d {
+                    out.push((lid, n));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(lid, n)| (n, lid));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::gen::generate;
+
+    #[test]
+    fn igp_distances_are_symmetric_and_connected() {
+        let topo = generate(&SimConfig::tiny(), 11);
+        let igp = Igp::build(&topo);
+        for a in &topo.ases {
+            for &r1 in &a.routers {
+                for &r2 in &a.routers {
+                    let d = igp.dist(a.id, r1, r2);
+                    assert_ne!(d, UNREACHABLE, "intra graph of {} disconnected", a.id);
+                    assert_eq!(d, igp.dist(a.id, r2, r1));
+                    if r1 == r2 {
+                        assert_eq!(d, 0);
+                    } else {
+                        assert!(d >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_reduce_distance() {
+        let topo = generate(&SimConfig::tiny(), 11);
+        let igp = Igp::build(&topo);
+        for a in &topo.ases {
+            if a.routers.len() < 2 {
+                continue;
+            }
+            let target = a.routers[0];
+            for &r in &a.routers[1..] {
+                let hops = igp.next_hops_toward(&topo, r, target);
+                assert!(!hops.is_empty(), "no next hop from {r} to {target}");
+                for (_, n) in hops {
+                    assert_eq!(igp.dist(a.id, n, target) + 1, igp.dist(a.id, r, target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_empty_at_target() {
+        let topo = generate(&SimConfig::tiny(), 11);
+        let igp = Igp::build(&topo);
+        let a = &topo.ases[0];
+        let r = a.routers[0];
+        assert!(igp.next_hops_toward(&topo, r, r).is_empty());
+    }
+}

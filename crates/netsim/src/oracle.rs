@@ -1,0 +1,222 @@
+//! Ground-truth oracle — **for evaluation and tests only**.
+//!
+//! The measurement stack (probing / atlas / vpselect / revtr) must never
+//! touch this module: it answers questions a real measurement system cannot
+//! (true router-level paths, true aliasing, true AS ownership). The `eval`
+//! crate uses it to score reverse traceroutes the way the paper scores
+//! against direct traceroutes, SNMP aliases, and CAIDA data.
+
+use crate::addr::Addr;
+use crate::ids::{AsId, RouterId};
+use crate::sim::{PktMeta, Sim};
+use crate::topology::Rel;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Ground-truth view over a [`Sim`].
+pub struct Oracle<'a> {
+    sim: &'a Sim,
+    cone_cache: Mutex<HashMap<AsId, usize>>,
+}
+
+impl Sim {
+    /// Ground truth access (evaluation only).
+    pub fn oracle(&self) -> Oracle<'_> {
+        Oracle {
+            sim: self,
+            cone_cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<'a> Oracle<'a> {
+    /// The true router-level path a plain packet from host `from` to
+    /// destination `to` traverses right now (default flow).
+    pub fn true_router_path(&self, from: Addr, to: Addr) -> Option<Vec<RouterId>> {
+        let attach = self.sim.host_attach(from)?;
+        let walk = self.sim.walk(attach, to, &PktMeta::plain(from, 0))?;
+        Some(walk.hops.iter().map(|h| h.router).collect())
+    }
+
+    /// The true AS-level path (consecutive duplicates collapsed) from host
+    /// `from` to `to`.
+    pub fn true_as_path(&self, from: Addr, to: Addr) -> Option<Vec<AsId>> {
+        let routers = self.true_router_path(from, to)?;
+        let mut out: Vec<AsId> = Vec::new();
+        for r in routers {
+            let a = self.sim.topo().router_as(r);
+            if out.last() != Some(&a) {
+                out.push(a);
+            }
+        }
+        Some(out)
+    }
+
+    /// The router that owns an address (interface, loopback, private alias).
+    pub fn router_of(&self, addr: Addr) -> Option<RouterId> {
+        self.sim.topo().router_at(addr)
+    }
+
+    /// True aliases of an address (all addresses of the owning router), or
+    /// just the address itself for hosts.
+    pub fn aliases(&self, addr: Addr) -> Vec<Addr> {
+        match self.sim.topo().router_at(addr) {
+            Some(r) => self.sim.topo().router_addrs(r),
+            None => vec![addr],
+        }
+    }
+
+    /// True: `a` and `b` name the same router (or are the same host addr).
+    pub fn same_router(&self, a: Addr, b: Addr) -> bool {
+        match (self.router_of(a), self.router_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b,
+        }
+    }
+
+    /// True AS ownership of an address: the owning router's AS for
+    /// infrastructure addresses, the originating AS for host addresses.
+    pub fn true_as_of(&self, addr: Addr) -> Option<AsId> {
+        if let Some(r) = self.sim.topo().router_at(addr) {
+            return Some(self.sim.topo().router_as(r));
+        }
+        self.sim
+            .topo()
+            .prefix_of(addr)
+            .map(|p| self.sim.topo().prefix(p).owner)
+    }
+
+    /// Customer cone size of an AS: the number of ASes reachable by walking
+    /// only provider→customer edges (including the AS itself), as in
+    /// CAIDA's definition.
+    pub fn customer_cone_size(&self, asn: AsId) -> usize {
+        if let Some(&n) = self.cone_cache.lock().get(&asn) {
+            return n;
+        }
+        let mut seen: HashSet<AsId> = HashSet::new();
+        let mut stack = vec![asn];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            for (n, rel) in self.sim.topo().as_neighbors(x) {
+                if rel == Rel::Customer && !seen.contains(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+        let n = seen.len();
+        self.cone_cache.lock().insert(asn, n);
+        n
+    }
+
+    /// True relationship between two ASes, if adjacent (the perspective is
+    /// `a`'s: what `b` is to `a`).
+    pub fn relationship(&self, a: AsId, b: AsId) -> Option<Rel> {
+        self.sim.topo().asn(a).rel_with(b)
+    }
+
+    /// True router-level adjacencies of the router owning `addr`: the set
+    /// of neighbouring routers' addresses facing it. This stands in for the
+    /// iPlane/Ark adjacency datasets revtr 1.0's timestamp technique
+    /// consumed.
+    pub fn router_adjacencies(&self, addr: Addr) -> Vec<Addr> {
+        let Some(r) = self.sim.topo().router_at(addr) else {
+            return Vec::new();
+        };
+        let topo = self.sim.topo();
+        topo.router(r)
+            .links
+            .iter()
+            .map(|&l| {
+                let link = topo.link(l);
+                link.addr_of(link.other(r))
+            })
+            .collect()
+    }
+
+    /// The true next hop (router) after `addr`'s router on the path toward
+    /// host `to`, if the router forwards toward it. Used by the Appx. D.1
+    /// "perfect adjacency" experiment.
+    pub fn true_next_hop_toward(&self, addr: Addr, to: Addr) -> Option<Addr> {
+        let r = self.sim.topo().router_at(addr)?;
+        let walk = self.sim.walk(r, to, &PktMeta::plain(addr, 0))?;
+        // hops[0] is r itself; the next entry is the next router. Report the
+        // interface on the next router facing r.
+        let hop = walk.hops.get(1)?;
+        let l = hop.in_link?;
+        Some(self.sim.topo().link(l).addr_of(hop.router))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::topology::AsTier;
+
+    fn sim() -> Sim {
+        Sim::build(SimConfig::tiny(), 9)
+    }
+
+    #[test]
+    fn true_paths_connect_endpoints() {
+        let s = sim();
+        let o = s.oracle();
+        let a = s.topo().vp_sites[0].host;
+        let b = s.topo().vp_sites[1].host;
+        let path = o.true_router_path(a, b).expect("connected");
+        assert!(!path.is_empty());
+        let as_path = o.true_as_path(a, b).expect("connected");
+        assert_eq!(
+            *as_path.first().expect("nonempty"),
+            s.topo().vp_sites[0].asn
+        );
+        assert_eq!(*as_path.last().expect("nonempty"), s.topo().vp_sites[1].asn);
+        // No consecutive duplicates.
+        assert!(as_path.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn cone_sizes_respect_hierarchy() {
+        let s = sim();
+        let o = s.oracle();
+        let mut t1_min = usize::MAX;
+        let mut stub_max = 0;
+        for a in &s.topo().ases {
+            let c = o.customer_cone_size(a.id);
+            assert!(c >= 1);
+            match a.tier {
+                AsTier::Tier1 => t1_min = t1_min.min(c),
+                AsTier::Stub => stub_max = stub_max.max(c),
+                _ => {}
+            }
+        }
+        assert_eq!(stub_max, 1, "stubs have no customers");
+        assert!(t1_min > 1, "tier-1s must have customers in their cone");
+    }
+
+    #[test]
+    fn aliases_cluster_router_addresses() {
+        let s = sim();
+        let o = s.oracle();
+        let r = &s.topo().routers[0];
+        let addrs = s.topo().router_addrs(r.id);
+        for &x in &addrs {
+            for &y in &addrs {
+                assert!(o.same_router(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn true_as_of_hosts_and_infra() {
+        let s = sim();
+        let o = s.oracle();
+        let pe = &s.topo().prefixes[0];
+        let host = s.host_addrs(pe.id).next().expect("host range nonempty");
+        assert_eq!(o.true_as_of(host), Some(pe.owner));
+        let l = &s.topo().links[0];
+        assert_eq!(o.true_as_of(l.addr_a), Some(s.topo().router_as(l.a)));
+    }
+}

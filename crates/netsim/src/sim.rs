@@ -1,0 +1,742 @@
+//! The simulator facade: routing caches, churn, and path walking.
+//!
+//! [`Sim`] owns the immutable topology plus the mutable-but-locked routing
+//! epoch state. All probe semantics (ICMP echo, Record Route, Timestamp,
+//! traceroute) are layered on top of the low-level [`Sim::walk`] primitive in
+//! [`crate::engine`].
+
+use crate::addr::Addr;
+use crate::behavior::Behavior;
+use crate::bgp::{self, AsRoutes};
+use crate::config::SimConfig;
+use crate::gen;
+use crate::hash::{chance, mix2, mix3};
+use crate::ids::{AsId, LinkId, PrefixId, RouterId};
+use crate::igp::Igp;
+use crate::topology::Topology;
+use parking_lot::RwLock;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Latency of the virtual host↔attach-router link, per direction (ms).
+pub const HOST_LINK_MS: f64 = 1.0;
+
+/// Maximum router hops a packet may traverse before being dropped.
+pub const MAX_HOPS: usize = 64;
+
+/// Where a destination address terminates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// A host inside an announced /24.
+    Host {
+        /// The prefix the host lives in.
+        prefix: PrefixId,
+        /// The router hosts of this prefix attach to.
+        attach: RouterId,
+    },
+    /// A router address (interface or loopback). `via` is set when the
+    /// address sits on the far (customer) side of an interdomain /30 that is
+    /// numbered from the anchor AS's block: the packet is routed to
+    /// `anchor` and crosses `via` as its final hop.
+    Router {
+        /// The router that owns the address.
+        router: RouterId,
+        /// The AS the address block belongs to (routing target).
+        anchor_as: AsId,
+        /// The router inside `anchor_as` the packet is routed to.
+        anchor: RouterId,
+        /// Final interdomain link to cross, when `router` is outside
+        /// `anchor_as`.
+        via: Option<LinkId>,
+    },
+}
+
+/// Per-packet fields that influence forwarding decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct PktMeta {
+    /// The source address carried in the IP header (the *claimed* source for
+    /// spoofed probes). Destination-based-routing violators key on this.
+    pub routing_src: Addr,
+    /// Per-packet entropy: load balancers hash this for option-carrying
+    /// packets.
+    pub nonce: u64,
+    /// Flow identifier: load balancers hash this for ordinary packets
+    /// (Paris traceroute keeps it constant).
+    pub flow: u16,
+    /// True if the packet carries IP options (RR/TS) — such packets are
+    /// balanced per-packet rather than per-flow (Appx. E).
+    pub has_options: bool,
+}
+
+impl PktMeta {
+    /// Metadata for a plain (no-option) packet from `src` with flow `flow`.
+    pub fn plain(src: Addr, flow: u16) -> PktMeta {
+        PktMeta {
+            routing_src: src,
+            nonce: 0,
+            flow,
+            has_options: false,
+        }
+    }
+
+    /// Metadata for an option-carrying packet.
+    pub fn options(src: Addr, nonce: u64) -> PktMeta {
+        PktMeta {
+            routing_src: src,
+            nonce,
+            flow: 0,
+            has_options: true,
+        }
+    }
+}
+
+/// One step of a packet's router-level journey.
+#[derive(Clone, Copy, Debug)]
+pub struct Hop {
+    /// The router traversed.
+    pub router: RouterId,
+    /// Link the packet arrived on (`None` at the first hop after a host, or
+    /// at a replying router's own position).
+    pub in_link: Option<LinkId>,
+    /// Link the packet departs on (`None` when delivering locally).
+    pub out_link: Option<LinkId>,
+}
+
+/// A completed router-level walk.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    /// Routers traversed, in order (includes the destination's attach router
+    /// for host destinations and the destination router itself for router
+    /// destinations, as the final entry).
+    pub hops: Vec<Hop>,
+    /// Sum of one-way link latencies, including virtual host links.
+    pub latency_ms: f64,
+}
+
+/// Cache of border-router lists per (AS, next-AS) pair.
+type BorderCache = HashMap<(u32, u32), Arc<Vec<RouterId>>>;
+
+/// Mutable routing-epoch state (route churn).
+#[derive(Debug)]
+struct ChurnState {
+    now_hours: f64,
+    /// Per-prefix churn epoch; bumping it re-rolls the BGP tie-break salt.
+    epochs: Vec<u32>,
+    steps: u64,
+}
+
+/// The simulated Internet.
+///
+/// Cheap to share by reference across threads (`Sim: Sync`); all caches use
+/// interior locking.
+pub struct Sim {
+    topo: Topology,
+    igp: Igp,
+    behavior: Behavior,
+    cfg: SimConfig,
+    seed: u64,
+    churn: RwLock<ChurnState>,
+    /// (dst AS, salt) → routes.
+    route_cache: RwLock<HashMap<(u32, u64), Arc<AsRoutes>>>,
+    /// (AS, next AS) → border routers. Immutable once computed.
+    border_cache: RwLock<BorderCache>,
+    /// addr → link, for interdomain /30 "via" resolution.
+    addr_to_link: HashMap<Addr, LinkId>,
+    /// Vantage point host addresses (always responsive: our own machines).
+    vp_hosts: std::collections::HashSet<Addr>,
+}
+
+impl Sim {
+    /// Build the simulated Internet from a config and seed.
+    pub fn build(cfg: SimConfig, seed: u64) -> Sim {
+        let topo = gen::generate(&cfg, seed);
+        Self::from_topology(topo, cfg, seed)
+    }
+
+    /// Wrap an already-generated topology (used by tests that want to
+    /// inspect or tweak the raw topology before simulation).
+    pub fn from_topology(topo: Topology, cfg: SimConfig, seed: u64) -> Sim {
+        let igp = Igp::build(&topo);
+        let behavior = Behavior::new(seed, cfg.behavior.clone());
+        let n_prefixes = topo.prefixes.len();
+        let mut addr_to_link = HashMap::new();
+        for l in &topo.links {
+            addr_to_link.insert(l.addr_a, l.id);
+            addr_to_link.insert(l.addr_b, l.id);
+        }
+        let vp_hosts = topo.vp_sites.iter().map(|v| v.host).collect();
+        Sim {
+            topo,
+            igp,
+            behavior,
+            cfg,
+            seed,
+            churn: RwLock::new(ChurnState {
+                now_hours: 0.0,
+                epochs: vec![0; n_prefixes],
+                steps: 0,
+            }),
+            route_cache: RwLock::new(HashMap::new()),
+            border_cache: RwLock::new(HashMap::new()),
+            addr_to_link,
+            vp_hosts,
+        }
+    }
+
+    /// True if `addr` is one of the system's vantage point hosts (always
+    /// responsive to every probe flavour — they run our own software).
+    pub fn is_vp_host(&self, addr: Addr) -> bool {
+        self.vp_hosts.contains(&addr)
+    }
+
+    /// The immutable topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// IGP tables.
+    #[inline]
+    pub fn igp(&self) -> &Igp {
+        &self.igp
+    }
+
+    /// Behaviour oracle (host/router responsiveness).
+    #[inline]
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// The configuration this sim was built from.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The build seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // ---- virtual time & churn ---------------------------------------------
+
+    /// Current virtual time in hours.
+    pub fn now_hours(&self) -> f64 {
+        self.churn.read().now_hours
+    }
+
+    /// Advance virtual time, applying route churn: each announced prefix
+    /// re-rolls its interdomain tie-breaks with probability
+    /// `churn_per_hour · hours`.
+    pub fn advance_hours(&self, hours: f64) {
+        let mut st = self.churn.write();
+        st.now_hours += hours;
+        st.steps += 1;
+        let p = (self.cfg.behavior.churn_per_hour * hours).min(1.0);
+        if p <= 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(mix3(self.seed, 0xc4c4, st.steps));
+        for e in st.epochs.iter_mut() {
+            if rng.gen_bool(p) {
+                *e += 1;
+            }
+        }
+    }
+
+    /// The current churn epoch of a prefix.
+    pub fn prefix_epoch(&self, p: PrefixId) -> u32 {
+        self.churn.read().epochs[p.index()]
+    }
+
+    /// BGP tie-break salt for routing toward `p` at its current epoch.
+    fn prefix_salt(&self, p: PrefixId) -> u64 {
+        mix3(self.seed ^ 0x5a17, p.0 as u64, self.prefix_epoch(p) as u64)
+    }
+
+    /// Salt for routing toward infrastructure addresses of AS `a`
+    /// (not churned: infrastructure routes are stable).
+    fn infra_salt(&self, a: AsId) -> u64 {
+        mix3(self.seed ^ 0x1f2a, a.0 as u64, 0)
+    }
+
+    // ---- routing tables ------------------------------------------------------
+
+    /// Interdomain routes toward `dst` AS under `salt`, cached.
+    pub fn routes(&self, dst: AsId, salt: u64) -> Arc<AsRoutes> {
+        if let Some(r) = self.route_cache.read().get(&(dst.0, salt)) {
+            return r.clone();
+        }
+        let computed = Arc::new(bgp::routes_to(&self.topo, dst, salt));
+        let mut w = self.route_cache.write();
+        w.entry((dst.0, salt)).or_insert(computed).clone()
+    }
+
+    /// Border routers of `asn` with links toward `next_as`, cached.
+    pub fn borders(&self, asn: AsId, next_as: AsId) -> Arc<Vec<RouterId>> {
+        if let Some(b) = self.border_cache.read().get(&(asn.0, next_as.0)) {
+            return b.clone();
+        }
+        let computed = Arc::new(self.topo.border_routers_toward(asn, next_as));
+        let mut w = self.border_cache.write();
+        w.entry((asn.0, next_as.0)).or_insert(computed).clone()
+    }
+
+    // ---- destinations -----------------------------------------------------
+
+    /// Resolve what a destination address refers to. Private addresses and
+    /// unallocated space return `None` (unroutable).
+    pub fn resolve_dest(&self, addr: Addr) -> Option<Dest> {
+        if addr.is_private() {
+            return None;
+        }
+        if let Some(pid) = self.topo.prefix_of(addr) {
+            let pe = self.topo.prefix(pid);
+            // The .0 network address is not a host.
+            if addr == pe.prefix.base {
+                return None;
+            }
+            return Some(Dest::Host {
+                prefix: pid,
+                attach: pe.attach,
+            });
+        }
+        let router = self.topo.router_at(addr)?;
+        let anchor_as = self.topo.block_owner(addr)?;
+        if self.topo.router_as(router) == anchor_as {
+            return Some(Dest::Router {
+                router,
+                anchor_as,
+                anchor: router,
+                via: None,
+            });
+        }
+        // Customer-side interface of an interdomain /30 numbered from the
+        // provider's block: anchor at the provider-side router.
+        let lid = *self.addr_to_link.get(&addr)?;
+        let l = self.topo.link(lid);
+        let far = l.other(router);
+        debug_assert_eq!(self.topo.router_as(far), anchor_as);
+        Some(Dest::Router {
+            router,
+            anchor_as,
+            anchor: far,
+            via: Some(lid),
+        })
+    }
+
+    /// Routing key for a destination: the announced prefix for host
+    /// destinations (churned), or `None` for infrastructure addresses.
+    fn routing_ctx(&self, dest: &Dest) -> (AsId, u64, Option<PrefixId>) {
+        match *dest {
+            Dest::Host { prefix, .. } => {
+                let owner = self.topo.prefix(prefix).owner;
+                (owner, self.prefix_salt(prefix), Some(prefix))
+            }
+            Dest::Router { anchor_as, .. } => (anchor_as, self.infra_salt(anchor_as), None),
+        }
+    }
+
+    // ---- forwarding ---------------------------------------------------------
+
+    /// Pick among equal candidates per the router's quirks: DBR violators
+    /// key on the packet source, load balancers on per-packet nonce (option
+    /// packets) or flow (plain packets), everyone else deterministically on
+    /// the destination key.
+    fn choose_idx(
+        &self,
+        router: RouterId,
+        n: usize,
+        dst_key: u64,
+        pid: Option<PrefixId>,
+        meta: &PktMeta,
+    ) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let r = self.topo.router(router);
+        if let Some(p) = pid {
+            if !r.load_balancer && self.behavior.violates_dbr(router, p) {
+                return (mix3(self.seed ^ 0xd8f7, meta.routing_src.0 as u64, router.0 as u64)
+                    % n as u64) as usize;
+            }
+        }
+        if r.load_balancer {
+            let key = if meta.has_options {
+                meta.nonce
+            } else {
+                meta.flow as u64
+            };
+            return (mix3(self.seed ^ 0x1b, key, router.0 as u64) % n as u64) as usize;
+        }
+        // Ordinary routers break equal-cost ties deterministically and
+        // *direction-symmetrically* (first candidate in sorted order),
+        // mirroring real IGPs whose metrics are symmetric — this is what
+        // keeps intradomain paths 90% symmetric (§4.4) while interdomain
+        // asymmetry still arises from independent per-direction BGP
+        // decisions. A small per-destination fraction of choices deviates
+        // to a backup candidate (maintenance, local config): since
+        // `dst_key` folds in the prefix churn epoch, these deviations are
+        // also what makes paths drift over days (Fig. 9d).
+        if chance(mix3(self.seed ^ 0xf11b, dst_key, router.0 as u64), 0.04) {
+            return (mix3(self.seed ^ 0xf11c, dst_key, router.0 as u64) % n as u64) as usize;
+        }
+        0
+    }
+
+    /// Walk a packet from `start` (a router; use the attach router of the
+    /// sender's prefix for host senders) to destination `dst_addr`.
+    ///
+    /// Returns `None` if the destination is unroutable or the hop cap is
+    /// exceeded (a forwarding loop through a violating router).
+    pub fn walk(&self, start: RouterId, dst_addr: Addr, meta: &PktMeta) -> Option<Walk> {
+        let dest = self.resolve_dest(dst_addr)?;
+        let (target_as, salt, pid) = self.routing_ctx(&dest);
+        let (final_router, via, deliver_to_host) = match dest {
+            Dest::Host { attach, .. } => (attach, None, true),
+            Dest::Router {
+                router,
+                anchor,
+                via,
+                ..
+            } => {
+                if via.is_some() {
+                    (anchor, via, false)
+                } else {
+                    (router, None, false)
+                }
+            }
+        };
+        let dst_key = mix2(dst_addr.0 as u64, salt);
+        let routes = self.routes(target_as, salt);
+
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut latency = 0.0;
+        let mut cur = start;
+        let mut in_link: Option<LinkId> = None;
+
+        for _ in 0..MAX_HOPS {
+            let cur_as = self.topo.router_as(cur);
+            if cur == final_router {
+                // Deliver: to the local host, across `via`, or to self.
+                if let Some(v) = via {
+                    let l = self.topo.link(v);
+                    hops.push(Hop {
+                        router: cur,
+                        in_link,
+                        out_link: Some(v),
+                    });
+                    latency += l.latency_ms;
+                    let dst_router = l.other(cur);
+                    hops.push(Hop {
+                        router: dst_router,
+                        in_link: Some(v),
+                        out_link: None,
+                    });
+                } else {
+                    hops.push(Hop {
+                        router: cur,
+                        in_link,
+                        out_link: None,
+                    });
+                    if deliver_to_host {
+                        latency += HOST_LINK_MS;
+                    }
+                }
+                return Some(Walk {
+                    hops,
+                    latency_ms: latency,
+                });
+            }
+
+            // Determine the next link.
+            let next_link: LinkId = if cur_as == target_as {
+                // Intradomain leg toward the final router.
+                let cands = self.igp.next_hops_toward(&self.topo, cur, final_router);
+                if cands.is_empty() {
+                    return None; // disconnected intra graph (shouldn't happen)
+                }
+                let i = self.choose_idx(cur, cands.len(), dst_key, pid, meta);
+                cands[i].0
+            } else {
+                let next_as = routes.next[cur_as.index()]?;
+                // Direct links from cur to next_as?
+                let direct: Vec<LinkId> = self
+                    .topo
+                    .asn(cur_as)
+                    .links_to(next_as)
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        let link = self.topo.link(l);
+                        link.a == cur || link.b == cur
+                    })
+                    .collect();
+                if !direct.is_empty() {
+                    let i = self.choose_idx(cur, direct.len(), dst_key, pid, meta);
+                    direct[i]
+                } else {
+                    // Hot potato: head for the nearest border toward next_as.
+                    let borders = self.borders(cur_as, next_as);
+                    if borders.is_empty() {
+                        return None;
+                    }
+                    let dmin = borders
+                        .iter()
+                        .map(|&b| self.igp.dist(cur_as, cur, b))
+                        .min()
+                        .expect("nonempty borders");
+                    if dmin == crate::igp::UNREACHABLE {
+                        return None;
+                    }
+                    let mut cands: Vec<(LinkId, RouterId)> = Vec::new();
+                    for &b in borders.iter() {
+                        if self.igp.dist(cur_as, cur, b) == dmin {
+                            cands.extend(self.igp.next_hops_toward(&self.topo, cur, b));
+                        }
+                    }
+                    cands.sort_unstable_by_key(|&(l, r)| (r, l));
+                    cands.dedup();
+                    if cands.is_empty() {
+                        return None;
+                    }
+                    let i = self.choose_idx(cur, cands.len(), dst_key, pid, meta);
+                    cands[i].0
+                }
+            };
+
+            let l = self.topo.link(next_link);
+            hops.push(Hop {
+                router: cur,
+                in_link,
+                out_link: Some(next_link),
+            });
+            latency += l.latency_ms;
+            cur = l.other(cur);
+            in_link = Some(next_link);
+        }
+        None // hop cap exceeded
+    }
+
+    /// The attach router for a host address, if it is a valid host.
+    pub fn host_attach(&self, host: Addr) -> Option<RouterId> {
+        match self.resolve_dest(host)? {
+            Dest::Host { attach, .. } => Some(attach),
+            Dest::Router { .. } => None,
+        }
+    }
+
+    /// The prefix a host address belongs to, if any.
+    pub fn host_prefix(&self, host: Addr) -> Option<PrefixId> {
+        match self.resolve_dest(host)? {
+            Dest::Host { prefix, .. } => Some(prefix),
+            Dest::Router { .. } => None,
+        }
+    }
+
+    /// The router-side interface address inside a destination prefix (the
+    /// `.1` of the /24) — what an `Egress`-stamping last-hop router writes
+    /// into RR, and what traceroute's first hop reports for local senders.
+    pub fn prefix_gateway(&self, p: PrefixId) -> Addr {
+        self.topo.prefix(p).prefix.nth(1)
+    }
+
+    /// The off-prefix alias a `HostStamp::AliasDouble` destination stamps:
+    /// an address in the owner's block but outside any announced prefix.
+    pub fn host_alias(&self, host: Addr) -> Option<Addr> {
+        let pid = self.host_prefix(host)?;
+        let pe = self.topo.prefix(pid);
+        let asn = self.topo.asn(pe.owner);
+        let pos = asn
+            .prefixes
+            .iter()
+            .position(|&p| p == pid)
+            .expect("prefix registered with owner") as u32;
+        // /24s #1..#15 of the block are reserved for host aliases.
+        debug_assert!(pos < 15, "too many prefixes for alias space");
+        Some(Addr(
+            asn.block.base.0 + 256 * (1 + pos) + (host.0 & 0xFF),
+        ))
+    }
+
+    /// Host addresses usable as probe targets inside a prefix
+    /// (`.10 ..= .250`, skipping VP site slots).
+    pub fn host_addrs(&self, p: PrefixId) -> impl Iterator<Item = Addr> + '_ {
+        let base = self.topo.prefix(p).prefix.base;
+        (10u32..=250).map(move |i| Addr(base.0 + i))
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("ases", &self.topo.ases.len())
+            .field("routers", &self.topo.routers.len())
+            .field("links", &self.topo.links.len())
+            .field("prefixes", &self.topo.prefixes.len())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkKind;
+
+    fn sim() -> Sim {
+        Sim::build(SimConfig::tiny(), 3)
+    }
+
+    #[test]
+    fn resolve_dest_hosts() {
+        let s = sim();
+        let pe = &s.topo().prefixes[0];
+        let host = s.host_addrs(pe.id).next().expect("hosts");
+        match s.resolve_dest(host) {
+            Some(Dest::Host { prefix, attach }) => {
+                assert_eq!(prefix, pe.id);
+                assert_eq!(attach, pe.attach);
+            }
+            other => panic!("host resolved as {other:?}"),
+        }
+        // The /24 network address is not a host.
+        assert_eq!(s.resolve_dest(pe.prefix.base), None);
+    }
+
+    #[test]
+    fn resolve_dest_router_addresses() {
+        let s = sim();
+        // Loopback: anchored at the owning router directly.
+        let r = &s.topo().routers[0];
+        match s.resolve_dest(r.loopback) {
+            Some(Dest::Router {
+                router,
+                anchor,
+                via,
+                ..
+            }) => {
+                assert_eq!(router, r.id);
+                assert_eq!(anchor, r.id);
+                assert_eq!(via, None);
+            }
+            other => panic!("loopback resolved as {other:?}"),
+        }
+        // Private alias: unroutable.
+        assert_eq!(s.resolve_dest(r.private_alias), None);
+    }
+
+    #[test]
+    fn resolve_dest_customer_side_border_uses_via() {
+        let s = sim();
+        let mut found = false;
+        for l in &s.topo().links {
+            if l.kind != LinkKind::Inter {
+                continue;
+            }
+            for (addr, owner_router, far_router) in
+                [(l.addr_a, l.a, l.b), (l.addr_b, l.b, l.a)]
+            {
+                let block_owner = s.topo().block_owner(addr).expect("public");
+                if s.topo().router_as(owner_router) != block_owner {
+                    // Far-side interface: must anchor at the near router and
+                    // cross `via` as the final hop.
+                    match s.resolve_dest(addr) {
+                        Some(Dest::Router {
+                            router,
+                            anchor,
+                            via,
+                            anchor_as,
+                        }) => {
+                            assert_eq!(router, owner_router);
+                            assert_eq!(anchor, far_router);
+                            assert_eq!(via, Some(l.id));
+                            assert_eq!(anchor_as, block_owner);
+                            found = true;
+                        }
+                        other => panic!("border iface resolved as {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(found, "no customer-side border interface tested");
+    }
+
+    #[test]
+    fn walks_always_terminate_within_hop_cap() {
+        let s = sim();
+        let src = s.topo().vp_sites[0].host;
+        let attach = s.host_attach(src).expect("vp host");
+        for pe in s.topo().prefixes.iter().take(60) {
+            let dst = s.host_addrs(pe.id).next().expect("hosts");
+            if let Some(w) = s.walk(attach, dst, &PktMeta::plain(src, 0)) {
+                assert!(w.hops.len() <= MAX_HOPS);
+                assert!(w.latency_ms > 0.0);
+                // The walk ends at the destination's attach router.
+                assert_eq!(
+                    w.hops.last().expect("nonempty").router,
+                    s.topo().prefix(pe.id).attach
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walk_hop_links_are_consistent() {
+        let s = sim();
+        let src = s.topo().vp_sites[0].host;
+        let dst = s.topo().vp_sites[3].host;
+        let attach = s.host_attach(src).expect("vp host");
+        let w = s.walk(attach, dst, &PktMeta::plain(src, 0)).expect("route");
+        for pair in w.hops.windows(2) {
+            // The out-link of one hop is the in-link of the next, and the
+            // link actually connects the two routers.
+            assert_eq!(pair[0].out_link, pair[1].in_link);
+            let l = s.topo().link(pair[0].out_link.expect("connected"));
+            assert_eq!(l.other(pair[0].router), pair[1].router);
+        }
+    }
+
+    #[test]
+    fn host_alias_is_off_prefix_but_in_block() {
+        let s = sim();
+        let pe = &s.topo().prefixes[0];
+        let host = s.host_addrs(pe.id).next().expect("hosts");
+        let alias = s.host_alias(host).expect("alias");
+        assert_eq!(s.topo().block_owner(alias), Some(pe.owner));
+        assert_eq!(
+            s.topo().prefix_of(alias),
+            None,
+            "alias must sit outside every announced prefix"
+        );
+    }
+
+    #[test]
+    fn gateway_is_inside_the_prefix() {
+        let s = sim();
+        for pe in s.topo().prefixes.iter().take(20) {
+            let gw = s.prefix_gateway(pe.id);
+            assert!(pe.prefix.contains(gw));
+        }
+    }
+
+    #[test]
+    fn advance_hours_monotonic_and_epochs_grow() {
+        let s = sim();
+        assert_eq!(s.now_hours(), 0.0);
+        s.advance_hours(1.5);
+        s.advance_hours(2.5);
+        assert!((s.now_hours() - 4.0).abs() < 1e-9);
+        // With certainty-churn every prefix bumps.
+        let mut cfg = SimConfig::tiny();
+        cfg.behavior.churn_per_hour = 1.0;
+        let s2 = Sim::build(cfg, 3);
+        s2.advance_hours(1.0);
+        for p in &s2.topo().prefixes {
+            assert_eq!(s2.prefix_epoch(p.id), 1);
+        }
+    }
+}

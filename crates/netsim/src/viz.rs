@@ -1,0 +1,130 @@
+//! Topology visualisation: Graphviz DOT export.
+//!
+//! `dot -Tsvg topo.dot -o topo.svg` renders the AS-level graph; router
+//! level is available for small topologies. Tier shapes follow the paper's
+//! hierarchy: tier-1s as double circles, transits as ellipses, NRENs as
+//! diamonds, stubs as points.
+
+use crate::topology::{AsTier, LinkKind, Rel, Topology};
+use std::fmt::Write as _;
+
+/// Render the AS-level graph as Graphviz DOT. Provider→customer edges are
+/// directed (provider on top), peerings are dashed and undirected.
+pub fn as_graph_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph revtr_as_graph {{");
+    let _ = writeln!(out, "  rankdir=TB; node [fontsize=9];");
+    for a in &topo.ases {
+        let (shape, color) = match a.tier {
+            AsTier::Tier1 => ("doublecircle", "gold"),
+            AsTier::Transit => {
+                if a.colo {
+                    ("ellipse", "lightblue")
+                } else {
+                    ("ellipse", "white")
+                }
+            }
+            AsTier::Nren => ("diamond", "palegreen"),
+            AsTier::Stub => {
+                if a.edu {
+                    ("point", "palegreen")
+                } else {
+                    ("point", "gray")
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  a{} [label=\"{}\" shape={shape} style=filled fillcolor={color}];",
+            a.id.0, a.id
+        );
+    }
+    for a in &topo.ases {
+        for n in &a.neighbors {
+            match n.rel {
+                // Emit each edge once, from the provider side.
+                Rel::Customer => {
+                    let _ = writeln!(out, "  a{} -> a{};", a.id.0, n.asn.0);
+                }
+                Rel::Peer if a.id.0 < n.asn.0 => {
+                    let _ = writeln!(
+                        out,
+                        "  a{} -> a{} [dir=none style=dashed];",
+                        a.id.0, n.asn.0
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the router-level graph as DOT (clusters per AS). Intended for
+/// tiny topologies; refuses (returns `None`) beyond `max_routers`.
+pub fn router_graph_dot(topo: &Topology, max_routers: usize) -> Option<String> {
+    if topo.routers.len() > max_routers {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "graph revtr_router_graph {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=8];");
+    for a in &topo.ases {
+        let _ = writeln!(out, "  subgraph cluster_{} {{ label=\"{}\";", a.id.0, a.id);
+        for &r in &a.routers {
+            let _ = writeln!(out, "    r{};", r.0);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for l in &topo.links {
+        let style = match l.kind {
+            LinkKind::Intra(_) => "solid",
+            LinkKind::Inter => "bold",
+        };
+        let _ = writeln!(out, "  r{} -- r{} [style={style}];", l.a.0, l.b.0);
+    }
+    let _ = writeln!(out, "}}");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::gen::generate;
+
+    #[test]
+    fn as_dot_contains_every_as_and_is_balanced() {
+        let t = generate(&SimConfig::tiny(), 2);
+        let dot = as_graph_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        for a in &t.ases {
+            assert!(dot.contains(&format!("a{} [", a.id.0)), "missing {}", a.id);
+        }
+        // Each provider-customer adjacency appears exactly once.
+        let edges = dot.matches(" -> ").count();
+        let expected: usize = t
+            .ases
+            .iter()
+            .flat_map(|a| a.neighbors.iter())
+            .filter(|n| n.rel == crate::topology::Rel::Customer)
+            .count()
+            + t.ases
+                .iter()
+                .flat_map(|a| a.neighbors.iter().map(move |n| (a.id, n)))
+                .filter(|(id, n)| n.rel == crate::topology::Rel::Peer && id.0 < n.asn.0)
+                .count();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn router_dot_respects_size_cap() {
+        let t = generate(&SimConfig::tiny(), 2);
+        assert!(router_graph_dot(&t, 10).is_none());
+        let dot = router_graph_dot(&t, 10_000).expect("under cap");
+        assert_eq!(dot.matches(" -- ").count(), t.links.len());
+        assert_eq!(dot.matches("subgraph cluster_").count(), t.ases.len());
+    }
+}

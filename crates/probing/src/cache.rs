@@ -1,0 +1,185 @@
+//! Measurement reuse cache (the "cache" component of Table 4's ablation).
+//!
+//! revtr 2.0 caches traceroutes and RR measurements for a day and reuses
+//! them across reverse traceroutes (Insight 1.4 / Appx. D.2.2). Entries are
+//! keyed by the full probe identity and expire on *virtual* simulator time,
+//! so staleness interacts correctly with route churn.
+
+use parking_lot::RwLock;
+use revtr_netsim::{Addr, RrReply, Sim, TraceResult};
+use std::collections::HashMap;
+
+/// Default cache TTL: one day of virtual time (paper Q1/D.2.2).
+pub const DEFAULT_TTL_HOURS: f64 = 24.0;
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    at_hours: f64,
+    value: T,
+}
+
+/// Key of an RR measurement: (sender, claimed source, destination).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RrKey {
+    /// Emitting vantage point.
+    pub sender: Addr,
+    /// Claimed (spoofed) source.
+    pub claimed: Addr,
+    /// Probe target.
+    pub dst: Addr,
+}
+
+/// Cached traceroutes, keyed by (source, destination).
+type TracerouteMap = HashMap<(Addr, Addr), Entry<Option<TraceResult>>>;
+
+/// TTL-based cache for traceroutes and RR replies.
+#[derive(Debug)]
+pub struct MeasurementCache {
+    ttl_hours: f64,
+    traceroutes: RwLock<TracerouteMap>,
+    rr: RwLock<HashMap<RrKey, Entry<Option<RrReply>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl MeasurementCache {
+    /// Cache with the paper's one-day TTL.
+    pub fn new() -> MeasurementCache {
+        MeasurementCache::with_ttl(DEFAULT_TTL_HOURS)
+    }
+
+    /// Cache with a custom TTL (hours of virtual time).
+    pub fn with_ttl(ttl_hours: f64) -> MeasurementCache {
+        MeasurementCache {
+            ttl_hours,
+            traceroutes: RwLock::new(HashMap::new()),
+            rr: RwLock::new(HashMap::new()),
+            hits: Default::default(),
+            misses: Default::default(),
+        }
+    }
+
+    fn fresh(&self, at: f64, now: f64) -> bool {
+        now - at <= self.ttl_hours
+    }
+
+    /// Cached traceroute from `src` to `dst`, if fresh.
+    pub fn get_traceroute(&self, sim: &Sim, src: Addr, dst: Addr) -> Option<Option<TraceResult>> {
+        let now = sim.now_hours();
+        let g = self.traceroutes.read();
+        match g.get(&(src, dst)) {
+            Some(e) if self.fresh(e.at_hours, now) => {
+                self.hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            _ => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a traceroute outcome (including "no answer").
+    pub fn put_traceroute(&self, sim: &Sim, src: Addr, dst: Addr, v: Option<TraceResult>) {
+        self.traceroutes.write().insert(
+            (src, dst),
+            Entry {
+                at_hours: sim.now_hours(),
+                value: v,
+            },
+        );
+    }
+
+    /// Cached RR measurement, if fresh.
+    pub fn get_rr(&self, sim: &Sim, key: RrKey) -> Option<Option<RrReply>> {
+        let now = sim.now_hours();
+        let g = self.rr.read();
+        match g.get(&key) {
+            Some(e) if self.fresh(e.at_hours, now) => {
+                self.hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            _ => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store an RR outcome (including "no answer").
+    pub fn put_rr(&self, sim: &Sim, key: RrKey, v: Option<RrReply>) {
+        self.rr.write().insert(
+            key,
+            Entry {
+                at_hours: sim.now_hours(),
+                value: v,
+            },
+        );
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Drop everything (e.g. when rebuilding an atlas from scratch).
+    pub fn clear(&self) {
+        self.traceroutes.write().clear();
+        self.rr.write().clear();
+    }
+}
+
+impl Default for MeasurementCache {
+    fn default() -> Self {
+        MeasurementCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_netsim::SimConfig;
+
+    #[test]
+    fn cache_roundtrip_and_expiry() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let cache = MeasurementCache::with_ttl(1.0);
+        let a = Addr::new(1, 1, 1, 1);
+        let b = Addr::new(2, 2, 2, 2);
+        assert!(cache.get_traceroute(&sim, a, b).is_none());
+        cache.put_traceroute(&sim, a, b, None);
+        assert_eq!(cache.get_traceroute(&sim, a, b), Some(None));
+        // Expire by advancing virtual time beyond the TTL.
+        sim.advance_hours(2.0);
+        assert!(cache.get_traceroute(&sim, a, b).is_none());
+        let (h, m) = cache.stats();
+        assert_eq!(h, 1);
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn rr_keys_distinguish_spoofing() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let cache = MeasurementCache::new();
+        let k1 = RrKey {
+            sender: Addr(1),
+            claimed: Addr(1),
+            dst: Addr(9),
+        };
+        let k2 = RrKey {
+            sender: Addr(1),
+            claimed: Addr(2),
+            dst: Addr(9),
+        };
+        cache.put_rr(&sim, k1, None);
+        assert!(cache.get_rr(&sim, k1).is_some());
+        assert!(cache.get_rr(&sim, k2).is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! Virtual measurement clock.
+//!
+//! All latency in the reproduction is *virtual*: probes advance the clock by
+//! their simulated RTT, spoofed batches by their 10-second collection
+//! timeout (paper §5.2.4). The clock periodically flushes accumulated time
+//! into the simulator so route churn progresses while campaigns run.
+
+use parking_lot::Mutex;
+use revtr_netsim::Sim;
+
+/// Spoofed-probe batch collection timeout, in virtual milliseconds
+/// (paper §5.2.4: "we empirically set this timeout to 10 seconds").
+pub const SPOOF_BATCH_TIMEOUT_MS: f64 = 10_000.0;
+
+/// Accumulated virtual time pending before a churn flush (1 virtual minute).
+const FLUSH_THRESHOLD_MS: f64 = 60_000.0;
+
+#[derive(Debug, Default)]
+struct State {
+    total_ms: f64,
+    pending_ms: f64,
+}
+
+/// A shareable virtual clock.
+#[derive(Debug, Default)]
+pub struct Clock {
+    state: Mutex<State>,
+}
+
+impl Clock {
+    /// A clock at zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Total virtual milliseconds elapsed.
+    pub fn now_ms(&self) -> f64 {
+        self.state.lock().total_ms
+    }
+
+    /// Total virtual seconds elapsed.
+    pub fn now_s(&self) -> f64 {
+        self.now_ms() / 1000.0
+    }
+
+    /// Advance the clock; flushes churn time into `sim` once enough has
+    /// accumulated.
+    pub fn advance(&self, ms: f64, sim: &Sim) {
+        debug_assert!(ms >= 0.0, "time flows forward");
+        let flush = {
+            let mut st = self.state.lock();
+            st.total_ms += ms;
+            st.pending_ms += ms;
+            if st.pending_ms >= FLUSH_THRESHOLD_MS {
+                let p = st.pending_ms;
+                st.pending_ms = 0.0;
+                Some(p)
+            } else {
+                None
+            }
+        };
+        if let Some(p) = flush {
+            sim.advance_hours(p / 3_600_000.0);
+        }
+    }
+
+    /// Force any pending time into the simulator's churn process.
+    pub fn flush(&self, sim: &Sim) {
+        let p = {
+            let mut st = self.state.lock();
+            std::mem::take(&mut st.pending_ms)
+        };
+        if p > 0.0 {
+            sim.advance_hours(p / 3_600_000.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_netsim::SimConfig;
+
+    #[test]
+    fn clock_accumulates_and_flushes() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let clock = Clock::new();
+        assert_eq!(clock.now_ms(), 0.0);
+        clock.advance(1500.0, &sim);
+        assert!((clock.now_ms() - 1500.0).abs() < 1e-9);
+        assert!((clock.now_s() - 1.5).abs() < 1e-9);
+        // Below threshold: sim time untouched until an explicit flush.
+        assert_eq!(sim.now_hours(), 0.0);
+        clock.flush(&sim);
+        assert!((sim.now_hours() - 1500.0 / 3_600_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_advance_flushes_automatically() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let clock = Clock::new();
+        clock.advance(120_000.0, &sim);
+        assert!(sim.now_hours() > 0.0);
+    }
+}

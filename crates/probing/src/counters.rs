@@ -1,0 +1,153 @@
+//! Probe accounting, in the categories of the paper's Table 4.
+//!
+//! Counters are atomic so campaigns can run across threads; snapshots and
+//! diffs make per-measurement attribution trivial.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic probe counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Plain pings (not in Table 4, tracked for completeness).
+    pub ping: AtomicU64,
+    /// Non-spoofed RR pings.
+    pub rr: AtomicU64,
+    /// Spoofed RR pings.
+    pub spoof_rr: AtomicU64,
+    /// Non-spoofed TS pings.
+    pub ts: AtomicU64,
+    /// Spoofed TS pings.
+    pub spoof_ts: AtomicU64,
+    /// Traceroute packets (one per TTL probe).
+    pub traceroute_pkts: AtomicU64,
+    /// Whole traceroutes.
+    pub traceroutes: AtomicU64,
+    /// RR pings issued for the background RR-atlas (§4.2), kept separate so
+    /// online vs offline overhead can be reported (paper: 1M of 127M).
+    pub atlas_rr: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Plain pings.
+    pub ping: u64,
+    /// Non-spoofed RR pings.
+    pub rr: u64,
+    /// Spoofed RR pings.
+    pub spoof_rr: u64,
+    /// Non-spoofed TS pings.
+    pub ts: u64,
+    /// Spoofed TS pings.
+    pub spoof_ts: u64,
+    /// Traceroute packets.
+    pub traceroute_pkts: u64,
+    /// Whole traceroutes.
+    pub traceroutes: u64,
+    /// Background RR-atlas pings.
+    pub atlas_rr: u64,
+}
+
+impl Snapshot {
+    /// Table 4's "Total": option-carrying probes (RR + Spoof RR + TS +
+    /// Spoof TS), excluding traceroutes and plain pings, as the paper does.
+    pub fn option_probes(&self) -> u64 {
+        self.rr + self.spoof_rr + self.ts + self.spoof_ts
+    }
+
+    /// All packets of any kind.
+    pub fn all_packets(&self) -> u64 {
+        self.option_probes() + self.ping + self.traceroute_pkts + self.atlas_rr
+    }
+
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            ping: self.ping - earlier.ping,
+            rr: self.rr - earlier.rr,
+            spoof_rr: self.spoof_rr - earlier.spoof_rr,
+            ts: self.ts - earlier.ts,
+            spoof_ts: self.spoof_ts - earlier.spoof_ts,
+            traceroute_pkts: self.traceroute_pkts - earlier.traceroute_pkts,
+            traceroutes: self.traceroutes - earlier.traceroutes,
+            atlas_rr: self.atlas_rr - earlier.atlas_rr,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &Snapshot) -> Snapshot {
+        Snapshot {
+            ping: self.ping + other.ping,
+            rr: self.rr + other.rr,
+            spoof_rr: self.spoof_rr + other.spoof_rr,
+            ts: self.ts + other.ts,
+            spoof_ts: self.spoof_ts + other.spoof_ts,
+            traceroute_pkts: self.traceroute_pkts + other.traceroute_pkts,
+            traceroutes: self.traceroutes + other.traceroutes,
+            atlas_rr: self.atlas_rr + other.atlas_rr,
+        }
+    }
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Copy current values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            ping: self.ping.load(Ordering::Relaxed),
+            rr: self.rr.load(Ordering::Relaxed),
+            spoof_rr: self.spoof_rr.load(Ordering::Relaxed),
+            ts: self.ts.load(Ordering::Relaxed),
+            spoof_ts: self.spoof_ts.load(Ordering::Relaxed),
+            traceroute_pkts: self.traceroute_pkts.load(Ordering::Relaxed),
+            traceroutes: self.traceroutes.load(Ordering::Relaxed),
+            atlas_rr: self.atlas_rr.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Increment a counter by one.
+    pub(crate) fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `n`.
+    pub(crate) fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_sum() {
+        let c = Counters::new();
+        c.bump(&c.rr);
+        c.bump(&c.rr);
+        c.bump(&c.spoof_rr);
+        let a = c.snapshot();
+        c.add(&c.ts, 5);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.rr, 0);
+        assert_eq!(d.ts, 5);
+        assert_eq!(b.option_probes(), 2 + 1 + 5);
+        let s = a.plus(&d);
+        assert_eq!(s, b);
+    }
+
+    #[test]
+    fn all_packets_counts_everything() {
+        let c = Counters::new();
+        c.add(&c.ping, 2);
+        c.add(&c.traceroute_pkts, 7);
+        c.add(&c.atlas_rr, 3);
+        c.add(&c.spoof_ts, 1);
+        assert_eq!(c.snapshot().all_packets(), 2 + 7 + 3 + 1);
+    }
+}

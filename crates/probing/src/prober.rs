@@ -1,0 +1,361 @@
+//! The prober: issue probes against the simulated Internet with accounting,
+//! virtual latency, and optional measurement reuse.
+//!
+//! A [`Prober`] is cheap to clone and thread-safe; campaign code clones one
+//! per worker so counters/clock/cache are shared.
+
+use crate::cache::{MeasurementCache, RrKey};
+use crate::clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
+use crate::counters::Counters;
+use revtr_netsim::{Addr, EchoReply, RrReply, Sim, TraceResult, TsReply};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Timeout charged for an unanswered non-spoofed probe (virtual ms).
+pub const PROBE_TIMEOUT_MS: f64 = 2_000.0;
+
+/// Timeout charged for a traceroute that never completes (virtual ms).
+pub const TRACEROUTE_TIMEOUT_MS: f64 = 5_000.0;
+
+/// Probe issuance facade.
+#[derive(Clone)]
+pub struct Prober<'s> {
+    sim: &'s Sim,
+    counters: Arc<Counters>,
+    clock: Arc<Clock>,
+    cache: Arc<MeasurementCache>,
+    use_cache: bool,
+    nonce: Arc<AtomicU64>,
+}
+
+impl<'s> Prober<'s> {
+    /// New prober with fresh shared state and caching enabled.
+    pub fn new(sim: &'s Sim) -> Prober<'s> {
+        Prober {
+            sim,
+            counters: Arc::new(Counters::new()),
+            clock: Arc::new(Clock::new()),
+            cache: Arc::new(MeasurementCache::new()),
+            use_cache: true,
+            nonce: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Same shared state, with caching toggled (the Table 4 "cache"
+    /// ablation knob).
+    pub fn with_cache_enabled(&self, enabled: bool) -> Prober<'s> {
+        let mut p = self.clone();
+        p.use_cache = enabled;
+        p
+    }
+
+    /// The simulator this prober probes.
+    pub fn sim(&self) -> &'s Sim {
+        self.sim
+    }
+
+    /// Shared probe counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Shared measurement cache.
+    pub fn cache(&self) -> &MeasurementCache {
+        &self.cache
+    }
+
+    fn next_nonce(&self) -> u64 {
+        self.nonce.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn charge(&self, reply_rtt: Option<f64>) {
+        match reply_rtt {
+            Some(rtt) => self.clock.advance(rtt, self.sim),
+            None => self.clock.advance(PROBE_TIMEOUT_MS, self.sim),
+        }
+    }
+
+    // ---- pings ------------------------------------------------------------
+
+    /// Plain ping.
+    pub fn ping(&self, src: Addr, dst: Addr) -> Option<EchoReply> {
+        self.counters.bump(&self.counters.ping);
+        let r = self.sim.ping(src, dst);
+        self.charge(r.as_ref().map(|x| x.rtt_ms));
+        r
+    }
+
+    // ---- record route -------------------------------------------------------
+
+    /// Non-spoofed RR ping from `src`, reusing a fresh cached result when
+    /// caching is enabled.
+    pub fn rr_ping(&self, src: Addr, dst: Addr) -> Option<RrReply> {
+        let key = RrKey {
+            sender: src,
+            claimed: src,
+            dst,
+        };
+        if self.use_cache {
+            if let Some(hit) = self.cache.get_rr(self.sim, key) {
+                return hit;
+            }
+        }
+        self.counters.bump(&self.counters.rr);
+        let r = self.sim.rr_ping(src, dst, self.next_nonce());
+        self.charge(r.as_ref().map(|x| x.rtt_ms));
+        self.cache.put_rr(self.sim, key, r.clone());
+        r
+    }
+
+    /// RR ping issued for the background RR-atlas (§4.2): identical
+    /// semantics, separate accounting (offline budget).
+    pub fn atlas_rr_ping(&self, sender: Addr, claimed: Addr, dst: Addr) -> Option<RrReply> {
+        self.counters.bump(&self.counters.atlas_rr);
+        let r = self
+            .sim
+            .rr_ping_from(sender, claimed, dst, self.next_nonce());
+        self.charge(r.as_ref().map(|x| x.rtt_ms));
+        r
+    }
+
+    /// A batch of spoofed RR pings, all claiming source `claimed`, one per
+    /// `(vantage point, destination)` pair. The whole batch costs one
+    /// 10-second collection timeout of virtual time (§5.2.4), which is what
+    /// makes batch count the dominant latency factor (Fig. 5c).
+    pub fn spoofed_rr_batch(
+        &self,
+        pairs: &[(Addr, Addr)],
+        claimed: Addr,
+    ) -> Vec<Option<RrReply>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(vp, dst) in pairs {
+            let key = RrKey {
+                sender: vp,
+                claimed,
+                dst,
+            };
+            if self.use_cache {
+                if let Some(hit) = self.cache.get_rr(self.sim, key) {
+                    out.push(hit);
+                    continue;
+                }
+            }
+            self.counters.bump(&self.counters.spoof_rr);
+            let r = self
+                .sim
+                .rr_ping_from(vp, claimed, dst, self.next_nonce());
+            self.cache.put_rr(self.sim, key, r.clone());
+            out.push(r);
+        }
+        self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
+        out
+    }
+
+    // ---- timestamp -------------------------------------------------------------
+
+    /// Non-spoofed TS-prespec ping.
+    pub fn ts_ping(&self, src: Addr, dst: Addr, prespec: &[Addr]) -> Option<TsReply> {
+        self.counters.bump(&self.counters.ts);
+        let r = self
+            .sim
+            .ts_ping_from(src, src, dst, prespec, self.next_nonce());
+        self.charge(r.as_ref().map(|x| x.rtt_ms));
+        r
+    }
+
+    /// A batch of spoofed TS pings (one collection timeout for the batch).
+    pub fn spoofed_ts_batch(
+        &self,
+        probes: &[(Addr, Addr, Vec<Addr>)],
+        claimed: Addr,
+    ) -> Vec<Option<TsReply>> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(probes.len());
+        for (vp, dst, prespec) in probes {
+            self.counters.bump(&self.counters.spoof_ts);
+            out.push(
+                self.sim
+                    .ts_ping_from(*vp, claimed, *dst, prespec, self.next_nonce()),
+            );
+        }
+        self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
+        out
+    }
+
+    // ---- traceroute --------------------------------------------------------------
+
+    /// (Paris) traceroute with caching.
+    pub fn traceroute(&self, src: Addr, dst: Addr) -> Option<TraceResult> {
+        if self.use_cache {
+            if let Some(hit) = self.cache.get_traceroute(self.sim, src, dst) {
+                return hit;
+            }
+        }
+        let r = self.traceroute_fresh(src, dst);
+        self.cache.put_traceroute(self.sim, src, dst, r.clone());
+        r
+    }
+
+    /// Traceroute bypassing the cache (but still recording into it).
+    pub fn traceroute_fresh(&self, src: Addr, dst: Addr) -> Option<TraceResult> {
+        let flow = (revtr_netsim::hash::mix2(src.0 as u64, dst.0 as u64) & 0xFFFF) as u16;
+        let r = self.sim.traceroute(src, dst, flow);
+        self.counters.bump(&self.counters.traceroutes);
+        match &r {
+            Some(t) => {
+                self.counters
+                    .add(&self.counters.traceroute_pkts, t.hops.len() as u64);
+                self.clock.advance(t.rtt_ms, self.sim);
+            }
+            None => self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim),
+        }
+        self.cache.put_traceroute(self.sim, src, dst, r.clone());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr_netsim::SimConfig;
+
+    fn sim() -> Sim {
+        Sim::build(SimConfig::tiny(), 21)
+    }
+
+    #[test]
+    fn counters_track_probe_kinds() {
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let vp2 = s.topo().vp_sites[2].host;
+        p.ping(vp0, vp1);
+        p.rr_ping(vp0, vp1);
+        p.spoofed_rr_batch(&[(vp0, vp1), (vp1, vp0)], vp2);
+        p.traceroute(vp0, vp1);
+        let snap = p.counters().snapshot();
+        assert_eq!(snap.ping, 1);
+        assert_eq!(snap.rr, 1);
+        assert_eq!(snap.spoof_rr, 2);
+        assert_eq!(snap.traceroutes, 1);
+        assert!(snap.traceroute_pkts >= 2);
+    }
+
+    #[test]
+    fn cache_avoids_repeat_probes() {
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let a = p.rr_ping(vp0, vp1);
+        let before = p.counters().snapshot();
+        let b = p.rr_ping(vp0, vp1);
+        let after = p.counters().snapshot();
+        assert_eq!(a, b);
+        assert_eq!(before.rr, after.rr, "second call must hit the cache");
+
+        // With caching disabled, the probe is re-sent.
+        let p2 = p.with_cache_enabled(false);
+        p2.rr_ping(vp0, vp1);
+        assert_eq!(p.counters().snapshot().rr, after.rr + 1);
+    }
+
+    #[test]
+    fn batch_charges_one_timeout() {
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let vp2 = s.topo().vp_sites[2].host;
+        let t0 = p.clock().now_ms();
+        p.spoofed_rr_batch(&[(vp1, vp2), (vp2, vp1)], vp0);
+        let dt = p.clock().now_ms() - t0;
+        assert!((dt - SPOOF_BATCH_TIMEOUT_MS).abs() < 1e-9);
+        // Empty batch is free.
+        let t1 = p.clock().now_ms();
+        p.spoofed_rr_batch(&[], vp0);
+        assert_eq!(p.clock().now_ms(), t1);
+    }
+
+    #[test]
+    fn unanswered_probe_charges_timeout() {
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let t0 = p.clock().now_ms();
+        assert!(p.ping(vp0, Addr::new(10, 9, 9, 9)).is_none());
+        assert!((p.clock().now_ms() - t0 - PROBE_TIMEOUT_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traceroute_packets_counted_per_hop() {
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let t = p.traceroute_fresh(vp0, vp1).expect("VPs reachable");
+        assert_eq!(
+            p.counters().snapshot().traceroute_pkts,
+            t.hops.len() as u64
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use revtr_netsim::SimConfig;
+
+    #[test]
+    fn ts_batches_account_and_charge() {
+        let s = Sim::build(SimConfig::tiny(), 22);
+        let p = Prober::new(&s);
+        let vps = &s.topo().vp_sites;
+        let t0 = p.clock().now_ms();
+        let probes = vec![(vps[1].host, vps[2].host, vec![vps[2].host])];
+        let out = p.spoofed_ts_batch(&probes, vps[0].host);
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.counters().snapshot().spoof_ts, 1);
+        assert!((p.clock().now_ms() - t0 - crate::clock::SPOOF_BATCH_TIMEOUT_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_disabled_prober_shares_counters() {
+        let s = Sim::build(SimConfig::tiny(), 22);
+        let p = Prober::new(&s);
+        let q = p.with_cache_enabled(false);
+        let vps = &s.topo().vp_sites;
+        p.ping(vps[0].host, vps[1].host);
+        q.ping(vps[0].host, vps[1].host);
+        assert_eq!(p.counters().snapshot().ping, 2, "counters are shared");
+    }
+
+    #[test]
+    fn traceroute_cache_respects_virtual_ttl() {
+        let s = Sim::build(SimConfig::tiny(), 22);
+        let p = Prober::new(&s);
+        let vps = &s.topo().vp_sites;
+        p.traceroute(vps[0].host, vps[1].host);
+        let before = p.counters().snapshot().traceroutes;
+        p.traceroute(vps[0].host, vps[1].host);
+        assert_eq!(p.counters().snapshot().traceroutes, before, "cache hit");
+        s.advance_hours(25.0); // beyond the one-day TTL
+        p.traceroute(vps[0].host, vps[1].host);
+        assert_eq!(
+            p.counters().snapshot().traceroutes,
+            before + 1,
+            "expired entry must be re-measured"
+        );
+    }
+}

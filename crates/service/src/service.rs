@@ -1,0 +1,233 @@
+//! The revtr 2.0 service (Appx. A): users request reverse traceroutes to
+//! registered sources through an API façade; the service enforces rate
+//! limits, bootstraps sources, archives results, and runs batch campaigns
+//! in parallel.
+
+use crate::store::ResultStore;
+use crate::users::{ApiKey, RateLimits, UserDb, UserError};
+use revtr::{RevtrResult, RevtrSystem};
+use revtr_netsim::{Addr, TraceResult};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-request tuning options (Appx. A: "the user can specify options to
+/// tune the request, such as how stale traceroutes are allowed to be and
+/// whether to run a forward traceroute after the Reverse Traceroute
+/// completes").
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct RequestOptions {
+    /// Maximum acceptable age (virtual hours) of the atlas traceroute the
+    /// measurement intersects; the source's atlas is refreshed first when
+    /// it is older. `None` accepts any age.
+    pub max_atlas_age_hours: Option<f64>,
+    /// Also run a forward traceroute source → destination and return it
+    /// alongside the reverse path.
+    pub with_forward_traceroute: bool,
+}
+
+
+/// A served request: the reverse traceroute plus optional extras.
+#[derive(Clone, Debug)]
+pub struct ServedRequest {
+    /// The reverse traceroute.
+    pub reverse: RevtrResult,
+    /// The complementary forward traceroute, when requested.
+    pub forward: Option<TraceResult>,
+}
+
+/// Service-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Rejected by the user/limits layer.
+    User(UserError),
+    /// The source failed bootstrap: it cannot receive RR packets, so
+    /// Reverse Traceroute cannot serve it (Appx. A).
+    SourceBootstrapFailed,
+    /// System overloaded (NDT-triggered measurements are best-effort).
+    Overloaded,
+}
+
+impl From<UserError> for ServiceError {
+    fn from(e: UserError) -> Self {
+        ServiceError::User(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::User(e) => write!(f, "{e}"),
+            ServiceError::SourceBootstrapFailed => {
+                write!(f, "source cannot receive record route packets")
+            }
+            ServiceError::Overloaded => write!(f, "system overloaded"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The service façade over a [`RevtrSystem`].
+pub struct RevtrService<'s> {
+    system: RevtrSystem<'s>,
+    users: UserDb,
+    store: ResultStore,
+    /// Soft cap on concurrent NDT-triggered measurements.
+    ndt_load_cap: usize,
+    ndt_in_flight: AtomicUsize,
+}
+
+impl<'s> RevtrService<'s> {
+    /// Wrap a measurement system as a service.
+    pub fn new(system: RevtrSystem<'s>) -> RevtrService<'s> {
+        RevtrService {
+            system,
+            users: UserDb::new(),
+            store: ResultStore::new(),
+            ndt_load_cap: 64,
+            ndt_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying measurement system.
+    pub fn system(&self) -> &RevtrSystem<'s> {
+        &self.system
+    }
+
+    /// The result archive.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Register a user.
+    pub fn add_user(&self, name: &str, limits: RateLimits) -> ApiKey {
+        self.users.add_user(name, limits)
+    }
+
+    /// Register a source for a user: checks the host can receive RR
+    /// packets, then bootstraps its traceroute atlas (and RR-atlas) — the
+    /// ~15-minute process of Appx. A, in virtual time.
+    pub fn add_source(&self, key: ApiKey, src: Addr) -> Result<(), ServiceError> {
+        // Bootstrap check: send the source an RR ping from a VP; if the
+        // source can't receive RR packets, Reverse Traceroute can't work.
+        let vp = self.system.vps().first().copied();
+        let reachable = match vp {
+            Some(vp) => self.system.prober().rr_ping(vp, src).is_some(),
+            None => false,
+        };
+        if !reachable {
+            return Err(ServiceError::SourceBootstrapFailed);
+        }
+        self.users.add_source(key, src)?;
+        self.system.register_source(src);
+        Ok(())
+    }
+
+    /// One on-demand reverse traceroute request (REST/gRPC equivalent).
+    pub fn request(&self, key: ApiKey, dst: Addr, src: Addr) -> Result<RevtrResult, ServiceError> {
+        Ok(self
+            .request_with(key, dst, src, RequestOptions::default())?
+            .reverse)
+    }
+
+    /// An on-demand request with per-request options (Appx. A).
+    pub fn request_with(
+        &self,
+        key: ApiKey,
+        dst: Addr,
+        src: Addr,
+        opts: RequestOptions,
+    ) -> Result<ServedRequest, ServiceError> {
+        let permit = self
+            .users
+            .admit(key, src, self.system.sim().now_hours())?;
+        let reverse = {
+            let result = self.system.measure(dst, src);
+            match (opts.max_atlas_age_hours, result.stats.intersected_trace_age_h) {
+                (Some(max), Some(age)) if age > max => {
+                    // Too stale: refresh the atlas and re-measure.
+                    self.system.refresh_atlas(src);
+                    self.system.measure(dst, src)
+                }
+                _ => result,
+            }
+        };
+        drop(permit);
+        self.store.push(&reverse);
+        let forward = if opts.with_forward_traceroute {
+            self.system.prober().traceroute_fresh(src, dst)
+        } else {
+            None
+        };
+        Ok(ServedRequest { reverse, forward })
+    }
+
+    /// A batch campaign: measure every `(dst, src)` pair, fanned out over
+    /// `workers` threads (topology-mapping use case, §3). Results are
+    /// archived and returned in input order.
+    pub fn batch(
+        &self,
+        key: ApiKey,
+        pairs: &[(Addr, Addr)],
+        workers: usize,
+    ) -> Result<Vec<RevtrResult>, ServiceError> {
+        // Admission: validate the user and sources up front.
+        for &(_, src) in pairs {
+            if !self.users.sources(key)?.contains(&src) {
+                return Err(ServiceError::User(UserError::UnknownSource));
+            }
+        }
+        // Charge the daily quota up front (campaigns are still subject to
+        // per-user limits; the parallel-slot limit is replaced by the
+        // worker count here).
+        for &(_, src) in pairs {
+            let permit = self
+                .users
+                .admit(key, src, self.system.sim().now_hours())?;
+            drop(permit);
+        }
+        let workers = workers.max(1);
+        let next = AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<RevtrResult>>> =
+            (0..pairs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers.min(pairs.len().max(1)) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pairs.len() {
+                        break;
+                    }
+                    let (dst, src) = pairs[i];
+                    let r = self.system.measure(dst, src);
+                    *results[i].lock() = Some(r);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        let out: Vec<RevtrResult> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every index measured"))
+            .collect();
+        for r in &out {
+            self.store.push(r);
+        }
+        Ok(out)
+    }
+
+    /// NDT hook (Appx. A): when a speed-test client measures against an
+    /// M-Lab server, complement the forward traceroute with a reverse one —
+    /// accepted or rejected based on system load.
+    pub fn on_ndt_test(&self, client: Addr, server: Addr) -> Result<RevtrResult, ServiceError> {
+        let cur = self.ndt_in_flight.fetch_add(1, Ordering::SeqCst);
+        if cur >= self.ndt_load_cap {
+            self.ndt_in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServiceError::Overloaded);
+        }
+        self.system.register_source(server);
+        let r = self.system.measure(client, server);
+        self.ndt_in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.store.push(&r);
+        Ok(r)
+    }
+}

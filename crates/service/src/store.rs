@@ -1,0 +1,140 @@
+//! Result archival (Appx. A: "our system archives both user-driven and
+//! NDT-based reverse traceroutes").
+
+use parking_lot::Mutex;
+use revtr::{RevtrResult, Status};
+use revtr_netsim::Addr;
+
+/// In-memory archive of measurement results with JSON export.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    results: Mutex<Vec<RevtrResult>>,
+}
+
+/// Aggregate statistics over the archive.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Total archived measurements.
+    pub total: usize,
+    /// Completed paths.
+    pub complete: usize,
+    /// Aborted to avoid interdomain symmetry assumptions.
+    pub aborted: usize,
+    /// Unresponsive destinations.
+    pub unresponsive: usize,
+    /// Completed paths containing a symmetry assumption.
+    pub with_assumption: usize,
+}
+
+impl ResultStore {
+    /// Empty store.
+    pub fn new() -> ResultStore {
+        ResultStore::default()
+    }
+
+    /// Archive one result.
+    pub fn push(&self, r: &RevtrResult) {
+        self.results.lock().push(r.clone());
+    }
+
+    /// Number of archived results.
+    pub fn len(&self) -> usize {
+        self.results.lock().len()
+    }
+
+    /// True when nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All results for a (destination, source) pair.
+    pub fn lookup(&self, dst: Addr, src: Addr) -> Vec<RevtrResult> {
+        self.results
+            .lock()
+            .iter()
+            .filter(|r| r.dst == dst && r.src == src)
+            .cloned()
+            .collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let g = self.results.lock();
+        let mut s = StoreStats {
+            total: g.len(),
+            ..Default::default()
+        };
+        for r in g.iter() {
+            match r.status {
+                Status::Complete => {
+                    s.complete += 1;
+                    if r.has_assumption() {
+                        s.with_assumption += 1;
+                    }
+                }
+                Status::AbortedInterdomain => s.aborted += 1,
+                Status::Unresponsive => s.unresponsive += 1,
+                Status::Stuck => {}
+            }
+        }
+        s
+    }
+
+    /// Export the archive as JSON (the M-Lab cloud-storage stand-in).
+    pub fn export_json(&self) -> String {
+        serde_json::to_string(&*self.results.lock()).expect("results serialize")
+    }
+
+    /// Import a JSON archive (replaces current contents).
+    pub fn import_json(&self, json: &str) -> Result<usize, serde_json::Error> {
+        let v: Vec<RevtrResult> = serde_json::from_str(json)?;
+        let n = v.len();
+        *self.results.lock() = v;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revtr::{RevtrHop, RevtrStats};
+
+    fn result(status: Status) -> RevtrResult {
+        RevtrResult {
+            dst: Addr(1),
+            src: Addr(2),
+            status,
+            hops: vec![RevtrHop {
+                addr: Some(Addr(1)),
+                method: revtr::HopMethod::Destination,
+                suspicious_gap_before: false,
+            }],
+            stats: RevtrStats::default(),
+        }
+    }
+
+    #[test]
+    fn stats_and_lookup() {
+        let store = ResultStore::new();
+        store.push(&result(Status::Complete));
+        store.push(&result(Status::AbortedInterdomain));
+        store.push(&result(Status::Unresponsive));
+        let s = store.stats();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.complete, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.unresponsive, 1);
+        assert_eq!(store.lookup(Addr(1), Addr(2)).len(), 3);
+        assert_eq!(store.lookup(Addr(9), Addr(2)).len(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let store = ResultStore::new();
+        store.push(&result(Status::Complete));
+        let json = store.export_json();
+        let store2 = ResultStore::new();
+        assert_eq!(store2.import_json(&json).expect("valid json"), 1);
+        assert_eq!(store2.stats().complete, 1);
+    }
+}

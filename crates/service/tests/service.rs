@@ -1,0 +1,198 @@
+//! Service-level integration tests: users, sources, rate limits, batch
+//! campaigns, and the NDT hook, over a tiny simulated Internet.
+
+use revtr::EngineConfig;
+use revtr_atlas::select_atlas_probes;
+use revtr_netsim::{Addr, Sim, SimConfig};
+use revtr_probing::Prober;
+use revtr_service::{RateLimits, RevtrService, ServiceError, UserError};
+use revtr_vpselect::{Heuristics, IngressDb};
+use std::sync::Arc;
+
+fn build_service(sim: &Sim) -> RevtrService<'_> {
+    let prober = Prober::new(sim);
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 80, 3);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = 30;
+    let system = revtr::RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    RevtrService::new(system)
+}
+
+fn responsive_dest(sim: &Sim, skip: usize) -> Addr {
+    sim.topo()
+        .prefixes
+        .iter()
+        .skip(skip)
+        .find_map(|pe| {
+            sim.host_addrs(pe.id)
+                .find(|&a| sim.behavior().host_rr_responsive(a))
+        })
+        .expect("responsive host exists")
+}
+
+#[test]
+fn end_to_end_user_flow() {
+    let sim = Sim::build(SimConfig::tiny(), 51);
+    let service = build_service(&sim);
+    let key = service.add_user("operator", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("VP source bootstraps");
+
+    let dst = responsive_dest(&sim, 5);
+    let r = service.request(key, dst, src).expect("request served");
+    assert_eq!(r.dst, dst);
+    assert_eq!(service.store().len(), 1);
+    assert_eq!(service.store().lookup(dst, src).len(), 1);
+}
+
+#[test]
+fn requests_to_unregistered_sources_rejected() {
+    let sim = Sim::build(SimConfig::tiny(), 52);
+    let service = build_service(&sim);
+    let key = service.add_user("stranger", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    let dst = responsive_dest(&sim, 3);
+    assert_eq!(
+        service.request(key, dst, src).unwrap_err(),
+        ServiceError::User(UserError::UnknownSource)
+    );
+}
+
+#[test]
+fn daily_quota_enforced() {
+    let sim = Sim::build(SimConfig::tiny(), 53);
+    let service = build_service(&sim);
+    let key = service.add_user(
+        "limited",
+        RateLimits {
+            max_parallel: 4,
+            max_per_day: 2,
+        },
+    );
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+    let dst = responsive_dest(&sim, 5);
+    service.request(key, dst, src).expect("first");
+    service.request(key, dst, src).expect("second");
+    assert_eq!(
+        service.request(key, dst, src).unwrap_err(),
+        ServiceError::User(UserError::DailyQuotaExceeded)
+    );
+}
+
+#[test]
+fn batch_campaign_parallel_matches_serial() {
+    let sim = Sim::build(SimConfig::tiny(), 54);
+    let service = build_service(&sim);
+    let key = service.add_user("mapper", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+
+    let pairs: Vec<(Addr, Addr)> = (0..8).map(|i| (responsive_dest(&sim, i * 3), src)).collect();
+    let out = service.batch(key, &pairs, 4).expect("campaign runs");
+    assert_eq!(out.len(), pairs.len());
+    for (r, &(d, s)) in out.iter().zip(&pairs) {
+        assert_eq!(r.dst, d);
+        assert_eq!(r.src, s);
+    }
+    assert_eq!(service.store().len(), pairs.len());
+    let stats = service.store().stats();
+    assert!(stats.complete > 0, "campaign completed nothing");
+}
+
+#[test]
+fn ndt_hook_measures_client_paths() {
+    let sim = Sim::build(SimConfig::tiny(), 55);
+    let service = build_service(&sim);
+    let server = sim.topo().vp_sites[1].host;
+    let client = responsive_dest(&sim, 7);
+    let r = service.on_ndt_test(client, server).expect("accepted");
+    assert_eq!(r.dst, client);
+    assert_eq!(r.src, server);
+    assert_eq!(service.store().len(), 1);
+}
+
+#[test]
+fn store_export_roundtrips_through_json() {
+    let sim = Sim::build(SimConfig::tiny(), 56);
+    let service = build_service(&sim);
+    let key = service.add_user("archiver", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+    service
+        .request(key, responsive_dest(&sim, 2), src)
+        .expect("request");
+    let json = service.store().export_json();
+    let store = revtr_service::ResultStore::new();
+    assert_eq!(store.import_json(&json).expect("valid"), 1);
+}
+
+#[test]
+fn request_options_forward_traceroute_and_staleness() {
+    let sim = Sim::build(SimConfig::tiny(), 57);
+    let service = build_service(&sim);
+    let key = service.add_user("tuner", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+    let dst = responsive_dest(&sim, 4);
+
+    // Forward traceroute requested alongside.
+    let served = service
+        .request_with(
+            key,
+            dst,
+            src,
+            revtr_service::RequestOptions {
+                max_atlas_age_hours: None,
+                with_forward_traceroute: true,
+            },
+        )
+        .expect("served");
+    assert_eq!(served.reverse.dst, dst);
+    let fwd = served.forward.expect("forward traceroute attached");
+    assert!(fwd.reached);
+
+    // Staleness bound: age the atlas by two virtual days, then require
+    // freshness — the served result must not intersect an over-age trace.
+    sim.advance_hours(48.0);
+    let served = service
+        .request_with(
+            key,
+            dst,
+            src,
+            revtr_service::RequestOptions {
+                max_atlas_age_hours: Some(24.0),
+                with_forward_traceroute: false,
+            },
+        )
+        .expect("served");
+    if let Some(age) = served.reverse.stats.intersected_trace_age_h {
+        assert!(age <= 24.0, "stale trace served: {age}h old");
+    }
+}
+
+#[test]
+fn batch_campaigns_charge_the_daily_quota() {
+    let sim = Sim::build(SimConfig::tiny(), 58);
+    let service = build_service(&sim);
+    let key = service.add_user(
+        "bulk",
+        RateLimits {
+            max_parallel: 8,
+            max_per_day: 3,
+        },
+    );
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+    let pairs: Vec<(Addr, Addr)> = (0..3).map(|i| (responsive_dest(&sim, i * 2), src)).collect();
+    service.batch(key, &pairs, 2).expect("within quota");
+    // The quota is now exhausted: another single request must be refused.
+    let dst = responsive_dest(&sim, 9);
+    assert_eq!(
+        service.request(key, dst, src).unwrap_err(),
+        ServiceError::User(UserError::DailyQuotaExceeded)
+    );
+}

@@ -1,0 +1,108 @@
+//! Concurrency: one `RevtrSystem` shared across threads must behave like a
+//! serial one — same results, consistent counters, no deadlocks.
+
+use revtr_suite::atlas::select_atlas_probes;
+use revtr_suite::netsim::{Addr, Sim, SimConfig};
+use revtr_suite::probing::Prober;
+use revtr_suite::revtr::{EngineConfig, RevtrSystem};
+use revtr_suite::vpselect::{Heuristics, IngressDb};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn stack(sim: &Sim) -> RevtrSystem<'_> {
+    let prober = Prober::new(sim);
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 100, 6);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = 40;
+    RevtrSystem::new(prober, cfg, vps, ingress, pool)
+}
+
+fn dests(sim: &Sim, n: usize) -> Vec<Addr> {
+    sim.topo()
+        .prefixes
+        .iter()
+        .filter_map(|pe| {
+            sim.host_addrs(pe.id)
+                .find(|&a| sim.behavior().host_rr_responsive(a))
+        })
+        .take(n)
+        .collect()
+}
+
+#[test]
+fn concurrent_measurements_match_serial_with_warm_caches() {
+    let sim = Sim::build(SimConfig::tiny(), 91);
+    let sys = stack(&sim);
+    let src = sim.topo().vp_sites[0].host;
+    sys.register_source(src);
+    let ds = dests(&sim, 24);
+
+    // Warm run (serial) to populate every cache.
+    let serial: Vec<_> = ds.iter().map(|&d| sys.measure(d, src)).collect();
+
+    // Concurrent run over the same pairs.
+    let results: Vec<parking_lot_stub::Slot> =
+        (0..ds.len()).map(|_| parking_lot_stub::Slot::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ds.len() {
+                    break;
+                }
+                results[i].set(sys.measure(ds[i], src));
+            });
+        }
+    });
+
+    for (i, s) in serial.iter().enumerate() {
+        let c = results[i].get();
+        assert_eq!(c.status, s.status, "status diverged for {}", ds[i]);
+        assert_eq!(
+            c.addrs().collect::<Vec<_>>(),
+            s.addrs().collect::<Vec<_>>(),
+            "path diverged for {}",
+            ds[i]
+        );
+    }
+}
+
+#[test]
+fn concurrent_source_registration_is_idempotent() {
+    let sim = Sim::build(SimConfig::tiny(), 92);
+    let sys = stack(&sim);
+    let src = sim.topo().vp_sites[1].host;
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| sys.register_source(src));
+        }
+    });
+    assert_eq!(sys.sources(), vec![src]);
+    assert!(!sys.atlas(src).traces.is_empty());
+}
+
+mod parking_lot_stub {
+    use std::sync::Mutex;
+
+    pub struct Slot(Mutex<Option<revtr_suite::revtr::RevtrResult>>);
+
+    impl Slot {
+        pub fn new() -> Slot {
+            Slot(Mutex::new(None))
+        }
+        pub fn set(&self, v: revtr_suite::revtr::RevtrResult) {
+            *self.0.lock().expect("slot lock") = Some(v);
+        }
+        pub fn get(&self) -> revtr_suite::revtr::RevtrResult {
+            self.0
+                .lock()
+                .expect("slot lock")
+                .clone()
+                .expect("slot filled")
+        }
+    }
+}

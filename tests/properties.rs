@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) over the simulator's core invariants:
+//! whatever the seed and knobs, routing stays valley-free and loop-free,
+//! Record Route semantics stay within spec, and measurements stay
+//! deterministic and destination-based.
+
+use proptest::prelude::*;
+use revtr_suite::netsim::sim::PktMeta;
+use revtr_suite::netsim::{Addr, AsId, Rel, Sim, SimConfig, RR_SLOTS};
+
+fn tiny_sim(seed: u64) -> Sim {
+    Sim::build(SimConfig::tiny(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Valley-free + loop-free BGP for arbitrary seeds and destinations.
+    #[test]
+    fn bgp_paths_are_valley_free(seed in 0u64..500, dst_idx in 0usize..70, salt in 0u64..1000) {
+        let sim = tiny_sim(seed);
+        let n = sim.topo().n_ases();
+        let dst = AsId((dst_idx % n) as u32);
+        let routes = revtr_suite::netsim::bgp::routes_to(sim.topo(), dst, salt);
+        for x in 0..n {
+            let path = routes.as_path(AsId(x as u32)).expect("connected topology");
+            // Loop-free.
+            let mut sorted = path.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len());
+            // Valley-free.
+            let mut descended = false;
+            for w in path.windows(2) {
+                match sim.topo().asn(w[0]).rel_with(w[1]).expect("adjacent") {
+                    Rel::Provider => prop_assert!(!descended),
+                    Rel::Peer => {
+                        prop_assert!(!descended);
+                        descended = true;
+                    }
+                    Rel::Customer => descended = true,
+                }
+            }
+        }
+    }
+
+    /// RR replies never exceed nine slots and never contain the network
+    /// address of a /24.
+    #[test]
+    fn rr_slots_respect_rfc791(seed in 0u64..200, dst_pick in 0usize..60, nonce in 0u64..50) {
+        let sim = tiny_sim(seed);
+        let vps = &sim.topo().vp_sites;
+        let prefixes = &sim.topo().prefixes;
+        let pe = &prefixes[dst_pick % prefixes.len()];
+        let dst = sim.host_addrs(pe.id).next().expect("hosts");
+        if let Some(r) = sim.rr_ping(vps[0].host, dst, nonce) {
+            prop_assert!(r.slots.len() <= RR_SLOTS);
+            for s in &r.slots {
+                prop_assert_ne!(*s, Addr::ZERO);
+            }
+            prop_assert!(r.rtt_ms > 0.0);
+        }
+    }
+
+    /// Forwarding is destination-based: two walks from the same router to
+    /// the same destination with different plain flows traverse identical
+    /// routers unless a load balancer intervenes — and with the same meta
+    /// they are always identical.
+    #[test]
+    fn walks_are_deterministic(seed in 0u64..200, a in 0usize..60, b in 0usize..60) {
+        let sim = tiny_sim(seed);
+        let prefixes = &sim.topo().prefixes;
+        let src_pe = &prefixes[a % prefixes.len()];
+        let dst_pe = &prefixes[b % prefixes.len()];
+        let src = sim.host_addrs(src_pe.id).next().expect("hosts");
+        let dst = sim.host_addrs(dst_pe.id).nth(1).expect("hosts");
+        if src == dst { return Ok(()); }
+        let attach = sim.topo().prefix(src_pe.id).attach;
+        let meta = PktMeta::plain(src, 7);
+        let w1 = sim.walk(attach, dst, &meta);
+        let w2 = sim.walk(attach, dst, &meta);
+        match (w1, w2) {
+            (Some(x), Some(y)) => {
+                let rx: Vec<_> = x.hops.iter().map(|h| h.router).collect();
+                let ry: Vec<_> = y.hops.iter().map(|h| h.router).collect();
+                prop_assert_eq!(rx, ry);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "non-deterministic reachability"),
+        }
+    }
+
+    /// Paris traceroute invariants: flow-stable, hop count bounded, and
+    /// the destination appears only as the final hop.
+    #[test]
+    fn traceroute_invariants(seed in 0u64..200, pick in 0usize..60) {
+        let sim = tiny_sim(seed);
+        let src = sim.topo().vp_sites[pick % sim.topo().vp_sites.len()].host;
+        let prefixes = &sim.topo().prefixes;
+        let pe = &prefixes[(pick * 7) % prefixes.len()];
+        let dst = sim.host_addrs(pe.id).nth(3).expect("hosts");
+        if dst == src { return Ok(()); }
+        if let Some(t) = sim.traceroute(src, dst, 5) {
+            prop_assert!(t.hops.len() <= 66);
+            if t.reached {
+                prop_assert_eq!(t.hops.last().copied().flatten(), Some(dst));
+                for h in &t.hops[..t.hops.len() - 1] {
+                    prop_assert_ne!(*h, Some(dst));
+                }
+            }
+        }
+    }
+
+    /// Spoofed replies land at the claimed source with identical slot
+    /// contents regardless of which capable sender emitted them (the
+    /// decoupling that Insight 1.3 exploits).
+    #[test]
+    fn spoofed_reply_content_is_sender_independent(seed in 0u64..100, pick in 0usize..40) {
+        let sim = tiny_sim(seed);
+        let vps = &sim.topo().vp_sites;
+        if vps.len() < 3 { return Ok(()); }
+        let claimed = vps[0].host;
+        let prefixes = &sim.topo().prefixes;
+        let pe = &prefixes[pick % prefixes.len()];
+        let dst = sim.host_addrs(pe.id).next().expect("hosts");
+        // Two different spoof-capable senders, same nonce: the *reverse*
+        // part of the slots (after the destination stamp) must agree,
+        // because the reply path only depends on (dst, claimed source).
+        let r1 = sim.rr_ping_from(vps[1].host, claimed, dst, 9);
+        let r2 = sim.rr_ping_from(vps[2].host, claimed, dst, 9);
+        if let (Some(r1), Some(r2)) = (r1, r2) {
+            let tail = |r: &revtr_suite::netsim::RrReply| -> Option<Vec<Addr>> {
+                let pos = r.slots.iter().position(|&s| s == dst)?;
+                Some(r.slots[pos + 1..].to_vec())
+            };
+            if let (Some(t1), Some(t2)) = (tail(&r1), tail(&r2)) {
+                // Truncate to the shorter (forward lengths differ, so one
+                // reply may have fewer free slots).
+                let n = t1.len().min(t2.len());
+                prop_assert_eq!(&t1[..n], &t2[..n]);
+            }
+        }
+    }
+
+    /// Host behaviour flags are consistent: RR-responsive ⊆
+    /// ping-responsive, TS-responsive ⊆ ping-responsive.
+    #[test]
+    fn responsiveness_hierarchy(seed in 0u64..100, raw in 0u32..100_000) {
+        let sim = tiny_sim(seed);
+        let prefixes = &sim.topo().prefixes;
+        let pe = &prefixes[(raw as usize) % prefixes.len()];
+        let host = Addr(pe.prefix.base.0 + 10 + raw % 240);
+        let b = sim.behavior();
+        if b.host_rr_responsive(host) {
+            prop_assert!(b.host_ping_responsive(host));
+        }
+        if b.host_ts_responsive(host) {
+            prop_assert!(b.host_ping_responsive(host));
+        }
+    }
+}
