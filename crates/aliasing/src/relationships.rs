@@ -112,8 +112,7 @@ impl RelationshipDb {
 
     /// Paper §5.2.2 smallness test.
     pub fn is_small(&self, a: AsId) -> bool {
-        self.providers(a).len() <= SMALL_AS_MAX_PROVIDERS
-            && self.cone_size(a) <= SMALL_AS_MAX_CONE
+        self.providers(a).len() <= SMALL_AS_MAX_PROVIDERS && self.cone_size(a) <= SMALL_AS_MAX_CONE
     }
 
     /// Suspicious AS link heuristic (§5.2.2): the link `s → p` is

@@ -70,7 +70,12 @@ impl SourceAtlas {
     /// When `rr_atlas` is set, every responsive hop is RR-pinged from the
     /// source and the revealed reply-path aliases are indexed (charged to
     /// the `atlas_rr` background budget).
-    pub fn build(prober: &Prober<'_>, source: Addr, probes: &[Addr], rr_atlas: bool) -> SourceAtlas {
+    pub fn build(
+        prober: &Prober<'_>,
+        source: Addr,
+        probes: &[Addr],
+        rr_atlas: bool,
+    ) -> SourceAtlas {
         let mut atlas = SourceAtlas {
             source,
             traces: Vec::with_capacity(probes.len()),
@@ -139,15 +144,11 @@ impl SourceAtlas {
             // Locate the destination's own stamp: the probed address, or an
             // adjacent duplicate (loopback/private destinations).
             let pos = reply.slots.iter().position(|&s| s == a).or_else(|| {
-                reply
-                    .slots
-                    .windows(2)
-                    .position(|w| w[0] == w[1])
-                    .map(|p| {
-                        // The doubled address is itself an alias of hop `a`.
-                        self.insert(reply.slots[p], inter, Priority::PreciseAlias);
-                        p + 1
-                    })
+                reply.slots.windows(2).position(|w| w[0] == w[1]).map(|p| {
+                    // The doubled address is itself an alias of hop `a`.
+                    self.insert(reply.slots[p], inter, Priority::PreciseAlias);
+                    p + 1
+                })
             });
             let Some(pos) = pos else { continue };
             // Reply-path stamps belong to routers along the traceroute
@@ -162,9 +163,7 @@ impl SourceAtlas {
                 let located = self.traces[idx].hops[i + 1..]
                     .iter()
                     .enumerate()
-                    .find_map(|(off, h)| {
-                        h.filter(|t| t.same_slash30(rev)).map(|_| i + 1 + off)
-                    });
+                    .find_map(|(off, h)| h.filter(|t| t.same_slash30(rev)).map(|_| i + 1 + off));
                 if let Some(hop_pos) = located {
                     self.insert(
                         rev,

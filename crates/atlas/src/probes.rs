@@ -16,12 +16,7 @@ pub fn select_atlas_probes(sim: &Sim, n: usize, seed: u64) -> Vec<Addr> {
         .topo()
         .prefixes
         .iter()
-        .filter(|p| {
-            matches!(
-                sim.topo().asn(p.owner).tier,
-                AsTier::Stub | AsTier::Transit
-            )
-        })
+        .filter(|p| matches!(sim.topo().asn(p.owner).tier, AsTier::Stub | AsTier::Transit))
         .map(|p| p.id)
         .collect();
     prefixes.shuffle(&mut rng);

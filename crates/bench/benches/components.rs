@@ -64,9 +64,7 @@ fn bench_probe_primitives(c: &mut Criterion) {
     // Warm caches.
     sim.rr_ping(vps[0].host, dst, 0);
     let mut g = c.benchmark_group("probes");
-    g.bench_function("ping", |b| {
-        b.iter(|| black_box(sim.ping(vps[0].host, dst)))
-    });
+    g.bench_function("ping", |b| b.iter(|| black_box(sim.ping(vps[0].host, dst))));
     let mut nonce = 0u64;
     g.bench_function("rr_ping", |b| {
         b.iter(|| {
@@ -123,8 +121,7 @@ fn bench_measure_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("measure");
     for (name, cfg) in EngineConfig::table4_ladder() {
         let prober = Prober::new(&env.ctx.sim);
-        let sys: RevtrSystem<'_> =
-            env.ctx.build_system(prober, cfg, ingress.clone());
+        let sys: RevtrSystem<'_> = env.ctx.build_system(prober, cfg, ingress.clone());
         sys.register_source(src);
         g.bench_function(name, |b| b.iter(|| black_box(sys.measure(dst, src))));
     }

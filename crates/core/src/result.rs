@@ -158,7 +158,11 @@ impl std::fmt::Display for RevtrResult {
     /// Render like the revtr.ccs.neu.edu output: one hop per line with its
     /// provenance, then the outcome.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "reverse traceroute from {} back to {}:", self.dst, self.src)?;
+        writeln!(
+            f,
+            "reverse traceroute from {} back to {}:",
+            self.dst, self.src
+        )?;
         for (i, hop) in self.hops.iter().enumerate() {
             if hop.suspicious_gap_before {
                 writeln!(f, "  {:>2}  *                (suspicious AS gap)", "")?;

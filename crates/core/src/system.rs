@@ -31,9 +31,10 @@ use std::sync::Arc;
 /// double-stamp pattern for loopback/private destinations). `None` when the
 /// stamp cannot be located — the reply is unusable.
 pub fn extract_reverse_hops(slots: &[Addr], dst: Addr) -> Option<Vec<Addr>> {
-    let pos = slots.iter().position(|&s| s == dst).or_else(|| {
-        slots.windows(2).position(|w| w[0] == w[1]).map(|p| p + 1)
-    })?;
+    let pos = slots
+        .iter()
+        .position(|&s| s == dst)
+        .or_else(|| slots.windows(2).position(|w| w[0] == w[1]).map(|p| p + 1))?;
     Some(slots[pos + 1..].to_vec())
 }
 
@@ -145,9 +146,11 @@ impl<'s> RevtrSystem<'s> {
         }
         let mut i = 0u64;
         while out.len() < want.min(n) && i < (n as u64) * 4 {
-            let idx =
-                (mix3(self.sim.seed() ^ 0xa71c, src.0 as u64, generation ^ (i << 20)) % n as u64)
-                    as usize;
+            let idx = (mix3(
+                self.sim.seed() ^ 0xa71c,
+                src.0 as u64,
+                generation ^ (i << 20),
+            ) % n as u64) as usize;
             let cand = self.atlas_pool[idx];
             if !out.contains(&cand) && cand != src {
                 out.push(cand);
@@ -249,7 +252,12 @@ impl<'s> RevtrSystem<'s> {
     /// Does `addr` intersect the atlas? With the RR-atlas the index already
     /// holds every RR-visible alias; in revtr 1.0 mode we additionally
     /// consult the external alias datasets (MIDAR-lite / SNMP).
-    fn lookup_intersection(&self, src: Addr, atlas: &SourceAtlas, addr: Addr) -> Option<Intersection> {
+    fn lookup_intersection(
+        &self,
+        src: Addr,
+        atlas: &SourceAtlas,
+        addr: Addr,
+    ) -> Option<Intersection> {
         if let Some(i) = atlas.lookup(addr) {
             return Some(i);
         }
@@ -300,7 +308,8 @@ impl<'s> RevtrSystem<'s> {
 
     /// True if `addr` means we have arrived at the source.
     fn reached(&self, addr: Addr, src: Addr, src_prefix: Option<PrefixId>) -> bool {
-        addr == src || (src_prefix.is_some() && self.sim.host_prefix(addr) == src_prefix)
+        addr == src
+            || (src_prefix.is_some() && self.sim.host_prefix(addr) == src_prefix)
             || (src_prefix.is_some() && self.sim.topo().prefix_of(addr) == src_prefix)
     }
 
@@ -508,14 +517,17 @@ impl<'s> RevtrSystem<'s> {
     pub fn measure(&self, dst: Addr, src: Addr) -> RevtrResult {
         let atlas = self.atlas(src);
         let t0 = self.prober.clock().now_s();
-        let snap0 = self.prober.counters().snapshot();
+        // Thread-local snapshot: a measurement runs synchronously on one
+        // thread, so this attributes exactly its own probes even while
+        // other campaign workers probe concurrently.
+        let snap0 = self.prober.counters().thread_snapshot();
         let mut stats = RevtrStats::default();
         let src_prefix = self.sim.host_prefix(src);
 
         let finish = |status: Status, hops: Vec<RevtrHop>, mut stats: RevtrStats| {
             stats.duration_s = self.prober.clock().now_s() - t0;
             stats.probes =
-                ProbeDelta::from_snapshot(&self.prober.counters().snapshot().since(&snap0));
+                ProbeDelta::from_snapshot(&self.prober.counters().thread_snapshot().since(&snap0));
             let mut r = RevtrResult {
                 dst,
                 src,
@@ -652,7 +664,9 @@ impl<'s> RevtrSystem<'s> {
         let mut prev_as: Option<revtr_netsim::AsId> = None;
         for i in 0..r.hops.len() {
             let Some(addr) = r.hops[i].addr else { continue };
-            let Some(a) = self.ip2as.map(addr) else { continue };
+            let Some(a) = self.ip2as.map(addr) else {
+                continue;
+            };
             if let Some(p) = prev_as {
                 if p != a
                     && (self.rels.is_suspicious_link(p, a) || self.rels.is_suspicious_link(a, p))
@@ -677,10 +691,7 @@ mod tests {
     fn extract_reverse_locates_exact_stamp() {
         let dst = a(5);
         let slots = [a(1), a(2), dst, a(7), a(8)];
-        assert_eq!(
-            extract_reverse_hops(&slots, dst),
-            Some(vec![a(7), a(8)])
-        );
+        assert_eq!(extract_reverse_hops(&slots, dst), Some(vec![a(7), a(8)]));
     }
 
     #[test]
@@ -713,9 +724,6 @@ mod tests {
         // duplicate pair later is treated as reverse hops.
         let dst = a(5);
         let slots = [a(1), dst, a(9), a(9)];
-        assert_eq!(
-            extract_reverse_hops(&slots, dst),
-            Some(vec![a(9), a(9)])
-        );
+        assert_eq!(extract_reverse_hops(&slots, dst), Some(vec![a(9), a(9)]));
     }
 }

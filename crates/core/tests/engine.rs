@@ -79,6 +79,16 @@ fn revtr2_measures_paths_and_paths_lead_to_source() {
         "revtr 2.0 completed only {complete}/{} paths",
         dests.len()
     );
+    // Cache effectiveness (Insight 1.4): a campaign of measurements to one
+    // source must reuse cached measurements, not re-probe from scratch.
+    let cs = sys.prober().cache().stats();
+    assert!(cs.inserts > 0, "nothing was ever cached: {cs:?}");
+    assert!(
+        cs.hits > 0,
+        "measurement cache earned no hits across {} revtrs: {cs:?}",
+        dests.len()
+    );
+    assert_eq!(cs.expired, 0, "no virtual time passed, nothing may expire");
 }
 
 #[test]
@@ -302,7 +312,13 @@ fn verify_dbr_mode_flags_violating_paths() {
     let mut cfg = EngineConfig::revtr2();
     cfg.atlas_size = 10; // small atlas → more RR stitching → more checks
     cfg.verify_dbr = true;
-    let sys = RevtrSystem::new(prober.clone(), cfg, vps.clone(), ingress.clone(), pool.clone());
+    let sys = RevtrSystem::new(
+        prober.clone(),
+        cfg,
+        vps.clone(),
+        ingress.clone(),
+        pool.clone(),
+    );
 
     let mut plain_cfg = EngineConfig::revtr2();
     plain_cfg.atlas_size = 10;

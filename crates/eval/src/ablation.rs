@@ -70,7 +70,11 @@ pub struct AblationReport {
 /// Each config gets a fresh prober (fresh counters, cache, and atlases) so
 /// rows are independent; the expensive ingress database is shared, exactly
 /// as the background measurements are shared in the real system.
-pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)]) -> AblationReport {
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    workload: &[(Addr, Addr)],
+) -> AblationReport {
     let mut rows = Vec::new();
     for (name, cfg) in EngineConfig::table4_ladder() {
         rows.push(run_config(ctx, ingress, workload, name, cfg));
@@ -121,7 +125,14 @@ impl AblationReport {
     pub fn table4(&self) -> Table {
         let mut t = Table::new(
             "Table 4: probes sent per configuration",
-            &["Type of packet", "RR", "Spoof RR", "TS", "Spoof TS", "Total"],
+            &[
+                "Type of packet",
+                "RR",
+                "Spoof RR",
+                "TS",
+                "Spoof TS",
+                "Total",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -143,7 +154,10 @@ impl AblationReport {
             "time (virtual seconds)",
             "CDF of reverse traceroutes",
         );
-        let xs: Vec<f64> = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0, 600.0].to_vec();
+        let xs: Vec<f64> = [
+            0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+        ]
+        .to_vec();
         // Paper order reversed so revtr 2.0 is on top.
         for r in self.rows.iter().rev() {
             let d = Distribution::new(r.durations.clone());
@@ -197,11 +211,8 @@ mod tests {
         let workload = ctx.workload();
         let report = run(&ctx, &ingress, &workload);
         assert_eq!(report.rows.len(), 5);
-        let by_name: std::collections::HashMap<&str, &AblationRow> = report
-            .rows
-            .iter()
-            .map(|r| (r.name.as_str(), r))
-            .collect();
+        let by_name: std::collections::HashMap<&str, &AblationRow> =
+            report.rows.iter().map(|r| (r.name.as_str(), r)).collect();
         let v1 = by_name["revtr 1.0"];
         let v2 = by_name["revtr 2.0"];
         // The headline shape: revtr 2.0 sends far fewer probes than 1.0.
@@ -229,9 +240,6 @@ mod tests {
         // Renders.
         assert_eq!(report.table4().len(), 5);
         assert!(report.fig5c().render().contains("revtr 2.0"));
-        assert!(report
-            .throughput_table()
-            .render()
-            .contains("revtrs/s"));
+        assert!(report.throughput_table().render().contains("revtrs/s"));
     }
 }

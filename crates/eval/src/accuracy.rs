@@ -90,10 +90,7 @@ fn score_pair(
     // AS-level.
     let direct_as = as_path_of(ip2as, direct_hops.iter().copied());
     let rev_as = as_path_of(ip2as, revtr_hops.iter().copied());
-    let seen = direct_as
-        .iter()
-        .filter(|a| rev_as.contains(a))
-        .count();
+    let seen = direct_as.iter().filter(|a| rev_as.contains(a)).count();
     acc.as_level.push(fraction(seen, direct_as.len()));
     if rev_as == direct_as {
         acc.as_exact += 1;
@@ -105,7 +102,11 @@ fn score_pair(
 }
 
 /// Run the §5.2 comparison campaign.
-pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)]) -> AccuracyReport {
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    workload: &[(Addr, Addr)],
+) -> AccuracyReport {
     let resolver = AliasResolver::new(&ctx.sim);
     let ip2as = Ip2As::new(&ctx.sim);
 
@@ -114,10 +115,17 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
     let prober_v1 = ctx.prober();
     let sys1 = ctx.build_system(prober_v1.clone(), EngineConfig::revtr1(), ingress.clone());
     let prober_ts = ctx.prober();
-    let sys2_ts = ctx.build_system(prober_ts.clone(), EngineConfig::revtr2_with_ts(), ingress.clone());
+    let sys2_ts = ctx.build_system(
+        prober_ts.clone(),
+        EngineConfig::revtr2_with_ts(),
+        ingress.clone(),
+    );
     let prober_tso = ctx.prober();
-    let sys2_ts_oracle =
-        ctx.build_system(prober_tso.clone(), EngineConfig::revtr2_with_ts(), ingress.clone());
+    let sys2_ts_oracle = ctx.build_system(
+        prober_tso.clone(),
+        EngineConfig::revtr2_with_ts(),
+        ingress.clone(),
+    );
 
     // Feed the oracle-adjacency variant perfect adjacency data (Appx. D.1's
     // upper bound for the TS technique).
@@ -183,14 +191,9 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
             (probe.rr_ping(src, dst), probe.traceroute_fresh(src, dst))
         {
             if fwd_tr.reached && extract_reverse_hops(&rr.slots, dst).is_some() {
-                let fwd_slots: Vec<Addr> = rr
-                    .slots
-                    .iter()
-                    .copied()
-                    .take_while(|&s| s != dst)
-                    .collect();
-                let tr_hops: Vec<Addr> =
-                    fwd_tr.responsive_hops().filter(|&h| h != dst).collect();
+                let fwd_slots: Vec<Addr> =
+                    rr.slots.iter().copied().take_while(|&s| s != dst).collect();
+                let tr_hops: Vec<Addr> = fwd_tr.responsive_hops().filter(|&h| h != dst).collect();
                 if !tr_hops.is_empty() {
                     let m = tr_hops
                         .iter()
@@ -215,7 +218,11 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
             ("revtr 1.0".into(), done1, attempted),
             ("revtr 2.0".into(), done2, attempted),
             ("revtr 2.0 + TS".into(), done_ts, attempted),
-            ("revtr 2.0 + TS + ground truth adj.".into(), done_tso, attempted),
+            (
+                "revtr 2.0 + TS + ground truth adj.".into(),
+                done_tso,
+                attempted,
+            ),
         ],
     }
 }
@@ -266,7 +273,13 @@ impl AccuracyReport {
     pub fn as_match_table(&self) -> Table {
         let mut t = Table::new(
             "AS-path match vs direct traceroute (§5.2.2)",
-            &["System", "exact", "missing-hop only", "mismatch", "compared"],
+            &[
+                "System",
+                "exact",
+                "missing-hop only",
+                "mismatch",
+                "compared",
+            ],
         );
         for (name, a) in [("revtr 2.0", &self.v2), ("revtr 1.0", &self.v1)] {
             t.row(&[
@@ -303,12 +316,7 @@ mod tests {
             "AS accuracy ({v2_as}) below router accuracy ({v2_router})"
         );
         // Optimistic ≥ plain router accuracy, pointwise.
-        for (o, r) in report
-            .v2
-            .router_optimistic
-            .iter()
-            .zip(&report.v2.router)
-        {
+        for (o, r) in report.v2.router_optimistic.iter().zip(&report.v2.router) {
             assert!(o >= r);
         }
         // revtr 2.0 mismatches are rarer than revtr 1.0's (the headline).
@@ -324,7 +332,12 @@ mod tests {
         // workload.
         let cov: Vec<usize> = report.coverage.iter().map(|c| c.1).collect();
         assert!(cov[0] >= cov[1] && cov[0] >= cov[2] && cov[0] >= cov[3]);
-        assert!(cov[2] + 1 >= cov[1], "TS lost coverage: {} vs {}", cov[2], cov[1]);
+        assert!(
+            cov[2] + 1 >= cov[1],
+            "TS lost coverage: {} vs {}",
+            cov[2],
+            cov[1]
+        );
         assert!(
             cov[3] + 1 >= cov[2],
             "oracle adjacencies lost coverage: {} vs {}",

@@ -50,9 +50,8 @@ impl TechniqueGraph {
         if self.as_cover_per_source.is_empty() {
             return f64::NAN;
         }
-        let mean =
-            self.as_cover_per_source.iter().sum::<usize>() as f64
-                / self.as_cover_per_source.len() as f64;
+        let mean = self.as_cover_per_source.iter().sum::<usize>() as f64
+            / self.as_cover_per_source.len() as f64;
         mean / n_ases as f64
     }
 }
@@ -76,7 +75,12 @@ fn link_on_path(truth: &[AsId], a: AsId, b: AsId) -> bool {
 }
 
 /// Accumulate the links of one measured AS path, scoring against truth.
-fn record_path(g: &mut TechniqueGraph, measured: &[AsId], truth: &[AsId], covered: &mut HashSet<AsId>) {
+fn record_path(
+    g: &mut TechniqueGraph,
+    measured: &[AsId],
+    truth: &[AsId],
+    covered: &mut HashSet<AsId>,
+) {
     for w in measured.windows(2) {
         g.links_checked += 1;
         if link_on_path(truth, w[0], w[1]) {

@@ -55,7 +55,11 @@ pub struct AsymmetryReport {
 }
 
 /// Run the bidirectional campaign.
-pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)]) -> AsymmetryReport {
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    workload: &[(Addr, Addr)],
+) -> AsymmetryReport {
     let prober = ctx.prober();
     let sys = ctx.build_system(prober.clone(), EngineConfig::revtr2(), ingress.clone());
     let resolver = AliasResolver::new(&ctx.sim);
@@ -88,8 +92,7 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
             .count();
         let fwd_as = ip2as.as_path(fwd_hops.iter().copied());
         let rev_as = ip2as.as_path(rev_hops.iter().copied());
-        let fwd_as_on_reverse: Vec<bool> =
-            fwd_as.iter().map(|a| rev_as.contains(a)).collect();
+        let fwd_as_on_reverse: Vec<bool> = fwd_as.iter().map(|a| rev_as.contains(a)).collect();
         let as_matched = fwd_as_on_reverse.iter().filter(|b| **b).count();
 
         let rec = PairRecord {
@@ -118,9 +121,9 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
             involved.sort_unstable();
             involved.dedup();
             for a in involved {
-                let e = participation.entry(a).or_insert_with(|| {
-                    (0, rels.cone_size(a), ctx.sim.topo().asn(a).tier)
-                });
+                let e = participation
+                    .entry(a)
+                    .or_insert_with(|| (0, rels.cone_size(a), ctx.sim.topo().asn(a).tier));
                 e.0 += 1;
             }
         }
@@ -170,8 +173,7 @@ impl AsymmetryReport {
 
     /// Fig. 12: symmetry CCDF restricted to assumption-free reverse paths.
     pub fn fig12(&self) -> Figure {
-        let refs: Vec<&PairRecord> =
-            self.pairs.iter().filter(|p| !p.has_assumption).collect();
+        let refs: Vec<&PairRecord> = self.pairs.iter().filter(|p| !p.has_assumption).collect();
         self.symmetry_ccdf(
             "Figure 12: symmetry, measurements without symmetry assumptions",
             &refs,
@@ -248,16 +250,14 @@ impl AsymmetryReport {
             "CDF of traceroute pairs",
         );
         let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
-        let through_t1 =
-            |p: &PairRecord| p.fwd_as.iter().any(|a| self.tier1.contains(a));
-        let lens =
-            |filt: &dyn Fn(&PairRecord) -> bool| -> Vec<f64> {
-                self.pairs
-                    .iter()
-                    .filter(|p| filt(p))
-                    .map(|p| p.fwd_as.len() as f64)
-                    .collect()
-            };
+        let through_t1 = |p: &PairRecord| p.fwd_as.iter().any(|a| self.tier1.contains(a));
+        let lens = |filt: &dyn Fn(&PairRecord) -> bool| -> Vec<f64> {
+            self.pairs
+                .iter()
+                .filter(|p| filt(p))
+                .map(|p| p.fwd_as.len() as f64)
+                .collect()
+        };
         f.series(
             "Symmetric paths through Tier-1s",
             Distribution::new(lens(&|p| through_t1(p) && p.symmetric_as())).cdf_series(&xs),
@@ -293,10 +293,7 @@ impl AsymmetryReport {
             }
             let mut pts = Vec::new();
             for i in 0..len {
-                let on = group
-                    .iter()
-                    .filter(|p| p.fwd_as_on_reverse[i])
-                    .count();
+                let on = group.iter().filter(|p| p.fwd_as_on_reverse[i]).count();
                 let x = if len == 1 {
                     0.0
                 } else {
@@ -338,11 +335,7 @@ impl AsymmetryReport {
             &["Definition", "asymmetric pairs", "fraction"],
         );
         let total = self.pairs.len();
-        let containment = self
-            .pairs
-            .iter()
-            .filter(|p| !p.symmetric_as())
-            .count();
+        let containment = self.pairs.iter().filter(|p| !p.symmetric_as()).count();
         let edit = self
             .pairs
             .iter()

@@ -310,8 +310,7 @@ pub fn run_staleness(ctx: &EvalContext, ingress: &Arc<IngressDb>) -> StalenessRe
         let hour = ((i * 24) / n).min(23);
         hourly[hour].0 += 1;
         let r = sys.measure(dst, src);
-        let (Some(trace_idx), Some(hop_idx)) =
-            (r.stats.intersected_trace, r.stats.intersected_hop)
+        let (Some(trace_idx), Some(hop_idx)) = (r.stats.intersected_trace, r.stats.intersected_hop)
         else {
             continue;
         };
@@ -341,7 +340,10 @@ pub fn run_staleness(ctx: &EvalContext, ingress: &Arc<IngressDb>) -> StalenessRe
         }
     }
 
-    StalenessReport { hourly, intersected }
+    StalenessReport {
+        hourly,
+        intersected,
+    }
 }
 
 #[cfg(test)]

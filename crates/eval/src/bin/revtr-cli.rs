@@ -166,7 +166,11 @@ fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
             HopMethod::Timestamp => "ts",
             HopMethod::AssumedSymmetric => "assumed-symmetric",
         };
-        let star = if hop.suspicious_gap_before { " [*]" } else { "" };
+        let star = if hop.suspicious_gap_before {
+            " [*]"
+        } else {
+            ""
+        };
         println!("  {i:2}  {addr:<16} {how}{star}");
     }
     println!(

@@ -98,9 +98,7 @@ pub fn run(
         }
         match (rn.status, rf.status) {
             (Status::AbortedInterdomain, Status::Complete) => report.naive_lost += 1,
-            (Status::Complete, Status::AbortedInterdomain) => {
-                report.naive_kept_suspect += 1
-            }
+            (Status::Complete, Status::AbortedInterdomain) => report.naive_kept_suspect += 1,
             _ => {}
         }
     }

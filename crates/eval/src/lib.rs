@@ -13,16 +13,16 @@ pub mod as_graph;
 pub mod asymmetry;
 pub mod atlas_study;
 pub mod context;
-pub mod symmetry_assumption;
-pub mod throughput;
-pub mod vp_selection;
 pub mod dbr_violations;
 pub mod ip2as_ablation;
 pub mod render;
 pub mod reproduce;
 pub mod responsiveness;
 pub mod stats;
+pub mod symmetry_assumption;
+pub mod throughput;
 pub mod traffic_eng;
+pub mod vp_selection;
 
 pub use context::{EvalContext, EvalScale};
 pub use render::{Figure, Series, Table};

@@ -28,7 +28,8 @@ impl Table {
     /// Append a row (cells are any Display).
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Table {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -64,7 +65,11 @@ impl Table {
             s
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", line(r, &widths));
         }

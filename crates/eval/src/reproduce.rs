@@ -149,7 +149,9 @@ impl Reproduction {
             .per_source_summary()
             .save_tsv(dir, "per_source_coverage")?;
         self.ablation.table4().save_tsv(dir, "table4")?;
-        self.ablation.throughput_table().save_tsv(dir, "throughput")?;
+        self.ablation
+            .throughput_table()
+            .save_tsv(dir, "throughput")?;
         self.accuracy.fig5a().save_tsv(dir, "fig5a")?;
         self.accuracy.fig5b().save_tsv(dir, "fig5b_coverage")?;
         self.accuracy.as_match_table().save_tsv(dir, "as_match")?;

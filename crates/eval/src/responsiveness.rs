@@ -51,11 +51,7 @@ fn probe_era(ctx: &EvalContext, vps: &[Addr]) -> (EraStats, EraDistances) {
     let mut dists = EraDistances::default();
     for p in ctx.sampled_prefixes() {
         // One candidate host per prefix — responsive or not ("All probed").
-        let dest = ctx
-            .sim
-            .host_addrs(p)
-            .next()
-            .expect("prefix has host space");
+        let dest = ctx.sim.host_addrs(p).next().expect("prefix has host space");
         stats.probed += 1;
         if prober.ping(pinger, dest).is_none() {
             continue;
@@ -131,15 +127,25 @@ impl ResponsivenessReport {
         let get = |f: fn(&EraStats) -> usize| -> Vec<String> {
             self.eras
                 .iter()
-                .map(|(_, s)| {
-                    format!("{} ({:.0}%)", f(s), 100.0 * fraction(f(s), s.probed))
-                })
+                .map(|(_, s)| format!("{} ({:.0}%)", f(s), 100.0 * fraction(f(s), s.probed)))
                 .collect()
         };
-        let probed: Vec<String> = self.eras.iter().map(|(_, s)| s.probed.to_string()).collect();
-        t.row(&["All probed".to_string(), probed[0].clone(), probed[1].clone()]);
+        let probed: Vec<String> = self
+            .eras
+            .iter()
+            .map(|(_, s)| s.probed.to_string())
+            .collect();
+        t.row(&[
+            "All probed".to_string(),
+            probed[0].clone(),
+            probed[1].clone(),
+        ]);
         let ping = get(|s| s.ping_responsive);
-        t.row(&["Ping responsive".to_string(), ping[0].clone(), ping[1].clone()]);
+        t.row(&[
+            "Ping responsive".to_string(),
+            ping[0].clone(),
+            ping[1].clone(),
+        ]);
         let rr = get(|s| s.rr_responsive);
         t.row(&["RR responsive".to_string(), rr[0].clone(), rr[1].clone()]);
         let reach = get(|s| s.rr_reachable_8);

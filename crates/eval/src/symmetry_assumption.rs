@@ -94,14 +94,11 @@ fn reveal_reverse_hops(
     fallback_vps: &[Addr],
 ) -> Vec<Addr> {
     let sim = prober.sim();
-    let plan_prefix = sim
-        .topo()
-        .prefix_of(target)
-        .or_else(|| {
-            sim.topo()
-                .block_owner(target)
-                .and_then(|a| sim.topo().asn(a).prefixes.first().copied())
-        });
+    let plan_prefix = sim.topo().prefix_of(target).or_else(|| {
+        sim.topo()
+            .block_owner(target)
+            .and_then(|a| sim.topo().asn(a).prefixes.first().copied())
+    });
     let mut plan: Vec<Addr> = plan_prefix
         .map(|p| {
             ingress
@@ -130,7 +127,11 @@ fn reveal_reverse_hops(
 
 /// Run the Table 2 study over up to `max_targets` /30-derived targets and
 /// up to 5 sources each.
-pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, max_targets: usize) -> SymmetryAssumptionReport {
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    max_targets: usize,
+) -> SymmetryAssumptionReport {
     let prober = ctx.prober();
     let resolver = AliasResolver::new(&ctx.sim);
     let ip2as = Ip2As::new(&ctx.sim);

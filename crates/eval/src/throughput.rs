@@ -4,14 +4,15 @@
 //! (~15M/day) across its deployment. Here we measure what *this*
 //! implementation sustains on the simulated Internet: wall-clock
 //! throughput of the engine across worker threads (crossbeam), plus the
-//! probe cost per measurement. Absolute numbers describe the simulator,
-//! not the Internet — the interesting outputs are probes/revtr and the
-//! parallel scaling.
+//! probe cost per measurement and the measurement-cache effectiveness.
+//! Absolute numbers describe the simulator, not the Internet — the
+//! interesting outputs are probes/revtr and the parallel scaling.
 
 use crate::context::EvalContext;
 use crate::render::Table;
 use revtr::EngineConfig;
 use revtr_netsim::Addr;
+use revtr_probing::CacheStats;
 use revtr_vpselect::IngressDb;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,6 +29,11 @@ pub struct ThroughputRun {
     pub wall_s: f64,
     /// Option probes sent (RR + spoofed RR + TS + spoofed TS).
     pub option_probes: u64,
+    /// Measurement-cache effectiveness during this run.
+    pub cache: CacheStats,
+    /// Valley-free BFS route computations during this run (cache fills in
+    /// `Sim::routes`; lookups don't count).
+    pub route_computes: u64,
 }
 
 impl ThroughputRun {
@@ -55,7 +61,11 @@ pub struct ThroughputReport {
 }
 
 /// Measure engine throughput over `workload` with 1, 2, 4, 8 workers.
-pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)]) -> ThroughputReport {
+pub fn run(
+    ctx: &EvalContext,
+    ingress: &Arc<IngressDb>,
+    workload: &[(Addr, Addr)],
+) -> ThroughputReport {
     let mut runs = Vec::new();
     for &workers in &[1usize, 2, 4, 8] {
         let prober = ctx.prober();
@@ -64,6 +74,8 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
             system.register_source(src);
         }
         let before = prober.counters().snapshot();
+        let cache_before = prober.cache().stats();
+        let computes_before = ctx.sim.route_computes();
         let next = AtomicUsize::new(0);
         let t0 = Instant::now();
         crossbeam::thread::scope(|s| {
@@ -81,11 +93,20 @@ pub fn run(ctx: &EvalContext, ingress: &Arc<IngressDb>, workload: &[(Addr, Addr)
         .expect("throughput worker panicked");
         let wall_s = t0.elapsed().as_secs_f64();
         let d = prober.counters().snapshot().since(&before);
+        let ca = prober.cache().stats();
+        let cache = CacheStats {
+            hits: ca.hits - cache_before.hits,
+            misses: ca.misses - cache_before.misses,
+            inserts: ca.inserts - cache_before.inserts,
+            expired: ca.expired - cache_before.expired,
+        };
         runs.push(ThroughputRun {
             workers,
             measured: workload.len(),
             wall_s,
             option_probes: d.option_probes(),
+            cache,
+            route_computes: ctx.sim.route_computes() - computes_before,
         });
     }
     ThroughputReport { runs }
@@ -103,6 +124,9 @@ impl ThroughputReport {
                 "revtrs/s",
                 "revtrs/day",
                 "probes/revtr",
+                "cache hit%",
+                "cache exp",
+                "route BFS",
             ],
         );
         for r in &self.runs {
@@ -113,6 +137,9 @@ impl ThroughputReport {
                 format!("{:.0}", r.per_second()),
                 format!("{:.2e}", r.per_day()),
                 format!("{:.1}", r.probes_per_revtr()),
+                format!("{:.1}", r.cache.hit_rate() * 100.0),
+                r.cache.expired.to_string(),
+                r.route_computes.to_string(),
             ]);
         }
         t
@@ -136,7 +163,13 @@ mod tests {
             assert_eq!(r.measured, workload.len());
             assert!(r.wall_s > 0.0);
             assert!(r.per_second() > 0.0);
+            // Every cache lookup is classified as a hit or a miss.
+            assert!(r.cache.hits + r.cache.misses > 0);
         }
+        // Each run uses a fresh prober/cache; within a run the workload
+        // revisits sources, so the measurement cache must earn hits.
+        let last = report.runs.last().unwrap();
+        assert!(last.cache.hits > 0, "cache ineffective: {:?}", last.cache);
         assert_eq!(report.table().len(), 4);
     }
 }

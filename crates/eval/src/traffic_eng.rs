@@ -52,11 +52,7 @@ pub struct TrafficEngReport {
     pub balancing: TeScenario,
 }
 
-fn snapshot(
-    ctx: &EvalContext,
-    routes: &AnycastRoutes,
-    monitored: &[AsId],
-) -> CatchmentSnapshot {
+fn snapshot(ctx: &EvalContext, routes: &AnycastRoutes, monitored: &[AsId]) -> CatchmentSnapshot {
     let mut catchment = HashMap::new();
     let mut lens = Vec::new();
     for &a in monitored {
@@ -109,7 +105,10 @@ fn dominant_transit(
             }
         }
     }
-    count.into_iter().max_by_key(|&(a, c)| (c, a.0)).map(|(a, _)| a)
+    count
+        .into_iter()
+        .max_by_key(|&(a, c)| (c, a.0))
+        .map(|(a, _)| a)
 }
 
 /// Run both TE scenarios.
@@ -151,8 +150,7 @@ pub fn run(ctx: &EvalContext) -> TrafficEngReport {
     let routes0 = anycast_routes(topo, &cfg0, salt);
     let before = snapshot(ctx, &routes0, &monitored);
     // The dominant transit feeding the *other* (far) site.
-    let transit = dominant_transit(ctx, &routes0, &monitored, other)
-        .unwrap_or(AsId(0));
+    let transit = dominant_transit(ctx, &routes0, &monitored, other).unwrap_or(AsId(0));
     // Poison that transit on the far site's announcement: its routes must
     // shift to the edu site.
     let cfg1 = cfg0.clone().block(transit, other);
@@ -167,12 +165,7 @@ pub fn run(ctx: &EvalContext) -> TrafficEngReport {
     };
 
     // --- Scenario 2: balancing between two providers. --------------------
-    let colos: Vec<AsId> = topo
-        .ases
-        .iter()
-        .filter(|a| a.colo)
-        .map(|a| a.id)
-        .collect();
+    let colos: Vec<AsId> = topo.ases.iter().filter(|a| a.colo).map(|a| a.id).collect();
     let (c1, c2) = (colos[0], colos[1 % colos.len()]);
     let cfg0 = AnycastConfig::new(vec![c1, c2]);
     let routes0 = anycast_routes(topo, &cfg0, salt ^ 1);
@@ -184,8 +177,7 @@ pub fn run(ctx: &EvalContext) -> TrafficEngReport {
     } else {
         c2
     };
-    let upstream = dominant_transit(ctx, &routes0, &monitored, dominant_site)
-        .unwrap_or(AsId(0));
+    let upstream = dominant_transit(ctx, &routes0, &monitored, dominant_site).unwrap_or(AsId(0));
     let cfg1 = cfg0.clone().block(upstream, dominant_site);
     let routes1 = anycast_routes(topo, &cfg1, salt ^ 1);
     let after = snapshot(ctx, &routes1, &monitored);
@@ -259,9 +251,7 @@ mod tests {
 
         // Balancing: the split becomes no more skewed than before.
         let b = &report.balancing;
-        let skew = |s: &CatchmentSnapshot| {
-            (share(s, b.sites[0]) - share(s, b.sites[1])).abs()
-        };
+        let skew = |s: &CatchmentSnapshot| (share(s, b.sites[0]) - share(s, b.sites[1])).abs();
         assert!(
             skew(&b.after) <= skew(&b.before) + 1e-9,
             "no-export made the split worse: {:.3} -> {:.3}",

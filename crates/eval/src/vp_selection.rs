@@ -123,16 +123,14 @@ pub fn run(ctx: &EvalContext) -> VpSelectionReport {
     let ladder: Vec<(&str, Heuristics)> = vec![
         ("Ingress", Heuristics::INGRESS_ONLY),
         ("Ingress + double stamp", Heuristics::WITH_DOUBLE),
-        ("Ingress + double stamp + loop (revtr 2.0)", Heuristics::FULL),
+        (
+            "Ingress + double stamp + loop (revtr 2.0)",
+            Heuristics::FULL,
+        ),
     ];
     let dbs: Vec<(String, Arc<IngressDb>)> = ladder
         .iter()
-        .map(|(name, h)| {
-            (
-                name.to_string(),
-                Arc::new(ctx.build_ingress(&prober, *h)),
-            )
-        })
+        .map(|(name, h)| (name.to_string(), Arc::new(ctx.build_ingress(&prober, *h))))
         .collect();
     let full_db = dbs.last().expect("ladder nonempty").1.clone();
 
@@ -150,9 +148,10 @@ pub fn run(ctx: &EvalContext) -> VpSelectionReport {
             let out = replies[0]
                 .as_ref()
                 .map(|r| {
-                    let pos = r.slots.iter().position(|&s| s == dest).or_else(|| {
-                        r.slots.windows(2).position(|w| w[0] == w[1]).map(|i| i + 1)
-                    });
+                    let pos =
+                        r.slots.iter().position(|&s| s == dest).or_else(|| {
+                            r.slots.windows(2).position(|w| w[0] == w[1]).map(|i| i + 1)
+                        });
                     VpOutcome {
                         revealed: extract_reverse_hops(&r.slots, dest)
                             .map(|v| v.len())
@@ -205,19 +204,14 @@ pub fn run(ctx: &EvalContext) -> VpSelectionReport {
         table5_rows.push((name.clone(), fraction(found, prefixes.len())));
     }
     // revtr 1.0 tries every VP, so it equals Optimal.
-    let optimal = prefixes
-        .iter()
-        .filter(|pe| pe.optimal().in_range)
-        .count();
+    let optimal = prefixes.iter().filter(|pe| pe.optimal().in_range).count();
     table5_rows.push(("revtr 1.0".into(), fraction(optimal, prefixes.len())));
     table5_rows.push(("Optimal".into(), fraction(optimal, prefixes.len())));
 
     // §4.3's two-destinations-suffice validation on a third destination.
     let mut stability = (0usize, 0usize);
     for (p, info) in full_db.prefixes() {
-        if let Some(ok) =
-            third_destination_consistent(&prober, &vps, info, p, Heuristics::FULL)
-        {
+        if let Some(ok) = third_destination_consistent(&prober, &vps, info, p, Heuristics::FULL) {
             stability.1 += 1;
             if ok {
                 stability.0 += 1;

@@ -256,9 +256,7 @@ mod tests {
         let base = anycast_routes(&t, &AnycastConfig::new(vec![o1, o2]), 4);
         // Pick an AS served by o1 and poison it on o1's announcement.
         let victim = (0..t.n_ases())
-            .find(|&x| {
-                base.catchment[x] == Some(o1) && x != o1.index()
-            })
+            .find(|&x| base.catchment[x] == Some(o1) && x != o1.index())
             .map(|x| AsId(x as u32))
             .expect("someone routes to o1");
         let cfg = AnycastConfig::new(vec![o1, o2]).block(victim, o1);

@@ -112,8 +112,7 @@ impl Behavior {
 
     /// Does this router answer RR-option pings addressed to it?
     pub fn router_rr_responsive(&self, r: RouterId) -> bool {
-        self.router_ping_responsive(r)
-            && chance(mix3(self.seed, salt::ROUTER_RR, r.0 as u64), 0.85)
+        self.router_ping_responsive(r) && chance(mix3(self.seed, salt::ROUTER_RR, r.0 as u64), 0.85)
     }
 
     // ---- forwarding quirks -------------------------------------------------

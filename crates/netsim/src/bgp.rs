@@ -146,12 +146,7 @@ pub fn routes_to(topo: &Topology, dst: AsId, salt: u64) -> AsRoutes {
                 if rel != Rel::Provider || dist[p.index()] != u16::MAX {
                     continue;
                 }
-                heap.push(Reverse((
-                    d + weight(p, AsId(x)),
-                    tie(p, AsId(x)),
-                    p.0,
-                    x,
-                )));
+                heap.push(Reverse((d + weight(p, AsId(x)), tie(p, AsId(x)), p.0, x)));
             }
         }
     }

@@ -1,0 +1,377 @@
+//! Concurrency primitives for the hot paths: cache-line padding, a
+//! lock-striped map, and single-flight computation.
+//!
+//! Every parallel campaign worker used to funnel through a handful of
+//! global locks (`Sim`'s route/border caches, the measurement cache, the
+//! virtual clock). This module provides the shared building blocks that
+//! de-serialize them:
+//!
+//! - [`CachePadded`]: pads a value to its own cache line so adjacent hot
+//!   atomics don't false-share.
+//! - [`StripedMap`]: an N-way lock-striped hash map — keys hash to one of
+//!   N shards, each behind its own `parking_lot::RwLock`, so readers and
+//!   writers of different shards never contend.
+//! - [`StripedMap::get_or_compute`]: single-flight fill — when a key is
+//!   missing, exactly one thread runs the compute closure while other
+//!   askers of the *same* key block on a condvar (and askers of other
+//!   keys proceed untouched), eliminating both duplicated compute and
+//!   write-lock convoys.
+//!
+//! Shard selection uses `std`'s `DefaultHasher::new()`, whose keys are
+//! fixed: the same key maps to the same shard in every process, keeping
+//! runs bit-reproducible.
+
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Pads (and aligns) a value to a 64-byte cache line to prevent false
+/// sharing between adjacent hot fields.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Default shard count: enough that a handful of workers rarely collide,
+/// small enough to stay cheap to clear/iterate.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Result slot shared between the computing thread and same-key waiters.
+#[derive(Debug)]
+enum FlightState<V> {
+    /// Computation in progress.
+    Waiting,
+    /// Computation finished with this value.
+    Done(V),
+    /// The computing thread panicked; waiters must retry.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Arc<Flight<V>> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Waiting),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until the flight lands; `None` means it was abandoned and the
+    /// caller should retry from scratch.
+    fn wait(&self) -> Option<V> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*st {
+                FlightState::Done(v) => return Some(v.clone()),
+                FlightState::Abandoned => return None,
+                FlightState::Waiting => {
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn land(&self, outcome: FlightState<V>) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+        self.cv.notify_all();
+    }
+}
+
+/// A map entry: either a materialized value or an in-progress flight.
+#[derive(Debug)]
+enum Slot<V> {
+    Ready(V),
+    Pending(Arc<Flight<V>>),
+}
+
+/// One stripe: a padded lock around this shard's portion of the key space.
+type Shard<K, V> = CachePadded<RwLock<HashMap<K, Slot<V>>>>;
+
+/// An N-way lock-striped hash map with single-flight fills.
+///
+/// `V` is expected to be cheap to clone (an `Arc`, a small copyable
+/// struct); `get` hands out clones so no guard outlives the call.
+#[derive(Debug)]
+pub struct StripedMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    mask: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> StripedMap<K, V> {
+    /// A map with [`DEFAULT_SHARDS`] stripes.
+    pub fn new() -> StripedMap<K, V> {
+        StripedMap::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A map with `n` stripes, rounded up to a power of two.
+    pub fn with_shards(n: usize) -> StripedMap<K, V> {
+        let n = n.max(1).next_power_of_two();
+        StripedMap {
+            shards: (0..n)
+                .map(|_| CachePadded::new(RwLock::new(HashMap::new())))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
+        // DefaultHasher::new() uses fixed keys: deterministic across runs
+        // and processes (unlike RandomState), which keeps shard layout —
+        // and therefore lock interleavings in serial runs — reproducible.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    /// Clone of the value under `key`, if materialized. Pending flights
+    /// are invisible to plain `get`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.shard(key).read().get(key) {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Insert (or overwrite) a materialized value.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().insert(key, Slot::Ready(value));
+    }
+
+    /// Number of materialized entries (excludes in-flight fills).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no materialized entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+    }
+
+    /// The value under `key`, computing it exactly once across threads.
+    ///
+    /// The first asker of a missing key inserts a *flight* and runs
+    /// `compute` without holding the shard lock; concurrent askers of the
+    /// same key block until the flight lands (askers of other keys are
+    /// unaffected). If `compute` panics, the flight is abandoned, waiters
+    /// retry, and one of them becomes the new computer.
+    pub fn get_or_compute(&self, key: K, compute: impl Fn() -> V) -> V {
+        loop {
+            // Fast path: shared lock only.
+            let flight = {
+                match self.shard(&key).read().get(&key) {
+                    Some(Slot::Ready(v)) => return v.clone(),
+                    Some(Slot::Pending(f)) => Some(f.clone()),
+                    None => None,
+                }
+            };
+            if let Some(f) = flight {
+                match f.wait() {
+                    Some(v) => return v,
+                    None => continue, // abandoned: retry
+                }
+            }
+
+            // Claim the fill under the write lock (re-check: someone may
+            // have claimed or finished it since the read).
+            let flight = {
+                let mut w = self.shard(&key).write();
+                match w.get(&key) {
+                    Some(Slot::Ready(v)) => return v.clone(),
+                    Some(Slot::Pending(f)) => {
+                        let f = f.clone();
+                        drop(w);
+                        match f.wait() {
+                            Some(v) => return v,
+                            None => continue,
+                        }
+                    }
+                    None => {
+                        let f = Flight::new();
+                        w.insert(key.clone(), Slot::Pending(f.clone()));
+                        f
+                    }
+                }
+            };
+
+            // Compute outside any lock; abandon the flight on panic so
+            // waiters don't hang.
+            struct Abort<'a, K: Hash + Eq + Clone, V: Clone> {
+                map: &'a StripedMap<K, V>,
+                key: &'a K,
+                flight: &'a Flight<V>,
+                armed: bool,
+            }
+            impl<K: Hash + Eq + Clone, V: Clone> Drop for Abort<'_, K, V> {
+                fn drop(&mut self) {
+                    if self.armed {
+                        self.map.shard(self.key).write().remove(self.key);
+                        self.flight.land(FlightState::Abandoned);
+                    }
+                }
+            }
+            let mut guard = Abort {
+                map: self,
+                key: &key,
+                flight: &flight,
+                armed: true,
+            };
+            let value = compute();
+            guard.armed = false;
+            drop(guard);
+
+            self.shard(&key)
+                .write()
+                .insert(key.clone(), Slot::Ready(value.clone()));
+            flight.land(FlightState::Done(value.clone()));
+            return value;
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for StripedMap<K, V> {
+    fn default() -> Self {
+        StripedMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn cache_padding_is_a_line() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 64);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn striped_map_basics() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.len(), 2);
+        m.insert(1, 11);
+        assert_eq!(m.get(&1), Some(11));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_or_compute_fills_once_serially() {
+        let m: StripedMap<u32, u32> = StripedMap::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = m.get_or_compute(9, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                81
+            });
+            assert_eq!(v, 81);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn get_or_compute_single_flight_under_contention() {
+        let m: StripedMap<u32, u64> = StripedMap::with_shards(4);
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..16u32 {
+                        let v = m.get_or_compute(k, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            (k as u64) * 3
+                        });
+                        assert_eq!(v, (k as u64) * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            16,
+            "each key computed exactly once across 8 threads"
+        );
+    }
+
+    #[test]
+    fn panicked_compute_is_abandoned_and_retried() {
+        let m: StripedMap<u32, u32> = StripedMap::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_compute(5, || panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // The flight must not wedge the key: a later caller recomputes.
+        assert_eq!(m.get_or_compute(5, || 55), 55);
+        assert_eq!(m.get(&5), Some(55));
+    }
+
+    #[test]
+    fn shard_choice_is_deterministic() {
+        let a: StripedMap<u64, u64> = StripedMap::new();
+        let b: StripedMap<u64, u64> = StripedMap::new();
+        for k in 0..200u64 {
+            let sa = (a.shard(&k) as *const _) as usize - (a.shards.as_ptr() as usize);
+            let sb = (b.shard(&k) as *const _) as usize - (b.shards.as_ptr() as usize);
+            assert_eq!(sa, sb);
+        }
+    }
+}

@@ -294,8 +294,14 @@ impl Sim {
             Dest::Host { attach, .. } => attach,
             Dest::Router { router, .. } => router,
         };
-        let rep = self.walk(reply_start, claimed_src, &PktMeta::options(dst, mix2(nonce, 1)))?;
-        let recv_gw = self.host_prefix(claimed_src).map(|p| self.prefix_gateway(p));
+        let rep = self.walk(
+            reply_start,
+            claimed_src,
+            &PktMeta::options(dst, mix2(nonce, 1)),
+        )?;
+        let recv_gw = self
+            .host_prefix(claimed_src)
+            .map(|p| self.prefix_gateway(p));
         // For host destinations the attach router forwards the reply and
         // stamps (ingress side = the destination prefix gateway). For router
         // destinations the destination router *also* stamps as the first
@@ -324,7 +330,10 @@ impl Sim {
         prespec: &[Addr],
         nonce: u64,
     ) -> Option<TsReply> {
-        assert!(prespec.len() <= TS_SLOTS, "at most 4 prespecified addresses");
+        assert!(
+            prespec.len() <= TS_SLOTS,
+            "at most 4 prespecified addresses"
+        );
         let attach = self.sender_ok(sender, claimed_src)?;
         let dest = self.resolve_dest(dst)?;
         if !self.dest_responds(&dest, dst, ProbeKind::Ts) {
@@ -377,7 +386,11 @@ impl Sim {
             Dest::Host { attach, .. } => attach,
             Dest::Router { router, .. } => router,
         };
-        let rep = self.walk(reply_start, claimed_src, &PktMeta::options(dst, mix2(nonce, 3)))?;
+        let rep = self.walk(
+            reply_start,
+            claimed_src,
+            &PktMeta::options(dst, mix2(nonce, 3)),
+        )?;
         for (i, hop) in rep.hops.iter().enumerate() {
             if i == 0 && is_router_dest {
                 continue;
@@ -505,7 +518,10 @@ mod tests {
         let s = sim();
         let src = s.topo().vp_sites[0].host;
         assert!(s.ping(src, Addr::new(10, 1, 2, 3)).is_none(), "private");
-        assert!(s.ping(src, Addr::new(200, 0, 0, 1)).is_none(), "unallocated");
+        assert!(
+            s.ping(src, Addr::new(200, 0, 0, 1)).is_none(),
+            "unallocated"
+        );
     }
 
     #[test]
@@ -695,10 +711,9 @@ mod mpls_tests {
                 Some(d) => d,
                 None => continue,
             };
-            let (Some(tp), Some(tm)) = (
-                sim_p.traceroute(src, dst, 1),
-                sim_m.traceroute(src, dst, 1),
-            ) else {
+            let (Some(tp), Some(tm)) =
+                (sim_p.traceroute(src, dst, 1), sim_m.traceroute(src, dst, 1))
+            else {
                 continue;
             };
             // Same underlying walk (same seed/topology), so the MPLS trace

@@ -11,8 +11,7 @@ use crate::addr::{Addr, Prefix};
 use crate::config::SimConfig;
 use crate::ids::{AsId, LinkId, PrefixId, RouterId};
 use crate::topology::{
-    AsNode, AsTier, Link, LinkKind, Neighbor, PrefixEntry, Rel, Router, StampMode, Topology,
-    VpSite,
+    AsNode, AsTier, Link, LinkKind, Neighbor, PrefixEntry, Rel, Router, StampMode, Topology, VpSite,
 };
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -150,7 +149,9 @@ impl<'c> Builder<'c> {
             .map(|i| AsId(i as u32))
             .collect();
         let stub_start = t.n_tier1 + t.n_transit + t.n_nren;
-        let stubs: Vec<AsId> = (stub_start..t.total_ases()).map(|i| AsId(i as u32)).collect();
+        let stubs: Vec<AsId> = (stub_start..t.total_ases())
+            .map(|i| AsId(i as u32))
+            .collect();
 
         // Tier-1 clique: all peers.
         for i in 0..t1.len() {
@@ -161,7 +162,9 @@ impl<'c> Builder<'c> {
 
         // Transit providers: tier-1s or earlier transits.
         for (k, &asid) in transit.iter().enumerate() {
-            let n_prov = self.rng.gen_range(2.min(t.max_transit_providers)..=t.max_transit_providers.max(2));
+            let n_prov = self
+                .rng
+                .gen_range(2.min(t.max_transit_providers)..=t.max_transit_providers.max(2));
             let mut picked = Vec::new();
             for _ in 0..n_prov {
                 let upper: AsId = if k == 0 || self.rng.gen_bool(0.5) {
@@ -215,7 +218,9 @@ impl<'c> Builder<'c> {
                 // Stubs are multihomed (2+ providers): near-universal for
                 // networks that matter, and the source of per-direction
                 // interdomain route divergence (§4.4's 57%).
-                let n_prov = self.rng.gen_range(2.min(t.max_stub_providers)..=t.max_stub_providers.max(2));
+                let n_prov = self
+                    .rng
+                    .gen_range(2.min(t.max_stub_providers)..=t.max_stub_providers.max(2));
                 let mut picked: Vec<AsId> = Vec::new();
                 for _ in 0..n_prov {
                     let p = *transit.choose(&mut self.rng).expect("transit set nonempty");
@@ -248,10 +253,7 @@ impl<'c> Builder<'c> {
             let rel_of_key1 = if a.0 < b.0 { rel } else { rel.flip() };
             seen.entry(key).or_insert(rel_of_key1);
         }
-        self.adjacencies = seen
-            .into_iter()
-            .map(|((a, b), rel)| (a, b, rel))
-            .collect();
+        self.adjacencies = seen.into_iter().map(|((a, b), rel)| (a, b, rel)).collect();
         self.adjacencies.sort_unstable_by_key(|&(a, b, _)| (a, b));
 
         for &(a, b, rel_of_b) in &self.adjacencies.clone() {
@@ -363,7 +365,14 @@ impl<'c> Builder<'c> {
         (Addr(base.0 + 1), Addr(base.0 + 2))
     }
 
-    fn push_link(&mut self, a: RouterId, b: RouterId, owner: AsId, latency: f64, kind: LinkKind) -> LinkId {
+    fn push_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        owner: AsId,
+        latency: f64,
+        kind: LinkKind,
+    ) -> LinkId {
         let (addr_a, addr_b) = self.alloc_slash30(owner);
         let id = LinkId(self.topo.links.len() as u32);
         self.topo.links.push(Link {
@@ -437,7 +446,11 @@ impl<'c> Builder<'c> {
             // get two (multiple interconnection points).
             let both_core = self.topo.ases[a.index()].tier != AsTier::Stub
                 && self.topo.ases[b.index()].tier != AsTier::Stub;
-            let n_links = if both_core && self.rng.gen_bool(0.3) { 2 } else { 1 };
+            let n_links = if both_core && self.rng.gen_bool(0.3) {
+                2
+            } else {
+                1
+            };
 
             // The /30 owner: the provider side, or the lower id for peers.
             // This is what creates border IP-to-AS ambiguity.
@@ -465,8 +478,10 @@ impl<'c> Builder<'c> {
                     .clone()
                     .choose(&mut self.rng)
                     .expect("AS has at least one router");
-                let lat =
-                    self.inter_latency(self.topo.ases[a.index()].tier, self.topo.ases[b.index()].tier);
+                let lat = self.inter_latency(
+                    self.topo.ases[a.index()].tier,
+                    self.topo.ases[b.index()].tier,
+                );
                 link_ids.push(self.push_link(ra, rb, owner, lat, LinkKind::Inter));
             }
 

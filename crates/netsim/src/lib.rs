@@ -41,6 +41,7 @@ pub mod addr;
 pub mod anycast;
 pub mod behavior;
 pub mod bgp;
+pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod gen;
@@ -53,6 +54,7 @@ pub mod topology;
 pub mod viz;
 
 pub use addr::{Addr, Prefix};
+pub use concurrent::{CachePadded, StripedMap};
 pub use config::{BehaviorConfig, SimConfig, TopologyConfig};
 pub use engine::{EchoReply, RrReply, TraceResult, TsReply, RR_SLOTS, TS_SLOTS};
 pub use ids::{AsId, LinkId, PrefixId, RouterId};

@@ -8,6 +8,7 @@
 use crate::addr::Addr;
 use crate::behavior::Behavior;
 use crate::bgp::{self, AsRoutes};
+use crate::concurrent::StripedMap;
 use crate::config::SimConfig;
 use crate::gen;
 use crate::hash::{chance, mix2, mix3};
@@ -18,6 +19,7 @@ use parking_lot::RwLock;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Latency of the virtual host↔attach-router link, per direction (ms).
@@ -116,7 +118,7 @@ pub struct Walk {
 }
 
 /// Cache of border-router lists per (AS, next-AS) pair.
-type BorderCache = HashMap<(u32, u32), Arc<Vec<RouterId>>>;
+type BorderCache = StripedMap<(u32, u32), Arc<Vec<RouterId>>>;
 
 /// Mutable routing-epoch state (route churn).
 #[derive(Debug)]
@@ -138,10 +140,13 @@ pub struct Sim {
     cfg: SimConfig,
     seed: u64,
     churn: RwLock<ChurnState>,
-    /// (dst AS, salt) → routes.
-    route_cache: RwLock<HashMap<(u32, u64), Arc<AsRoutes>>>,
+    /// (dst AS, salt) → routes. Lock-striped; fills are single-flight so
+    /// concurrent workers never duplicate a valley-free BFS.
+    route_cache: StripedMap<(u32, u64), Arc<AsRoutes>>,
     /// (AS, next AS) → border routers. Immutable once computed.
-    border_cache: RwLock<BorderCache>,
+    border_cache: BorderCache,
+    /// Number of actual `bgp::routes_to` computations (cache fills).
+    route_computes: AtomicU64,
     /// addr → link, for interdomain /30 "via" resolution.
     addr_to_link: HashMap<Addr, LinkId>,
     /// Vantage point host addresses (always responsive: our own machines).
@@ -178,8 +183,9 @@ impl Sim {
                 epochs: vec![0; n_prefixes],
                 steps: 0,
             }),
-            route_cache: RwLock::new(HashMap::new()),
-            border_cache: RwLock::new(HashMap::new()),
+            route_cache: StripedMap::new(),
+            border_cache: StripedMap::new(),
+            route_computes: AtomicU64::new(0),
             addr_to_link,
             vp_hosts,
         }
@@ -266,23 +272,29 @@ impl Sim {
     // ---- routing tables ------------------------------------------------------
 
     /// Interdomain routes toward `dst` AS under `salt`, cached.
+    ///
+    /// Single-flight: when several workers ask for the same uncached
+    /// `(dst, salt)`, exactly one runs the valley-free BFS and the rest
+    /// wait for its result.
     pub fn routes(&self, dst: AsId, salt: u64) -> Arc<AsRoutes> {
-        if let Some(r) = self.route_cache.read().get(&(dst.0, salt)) {
-            return r.clone();
-        }
-        let computed = Arc::new(bgp::routes_to(&self.topo, dst, salt));
-        let mut w = self.route_cache.write();
-        w.entry((dst.0, salt)).or_insert(computed).clone()
+        self.route_cache.get_or_compute((dst.0, salt), || {
+            self.route_computes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(bgp::routes_to(&self.topo, dst, salt))
+        })
+    }
+
+    /// How many times `routes` actually ran `bgp::routes_to` (i.e. cache
+    /// fills, not lookups). Exposed for the single-flight regression test
+    /// and for cache-effectiveness reporting in `eval`.
+    pub fn route_computes(&self) -> u64 {
+        self.route_computes.load(Ordering::Relaxed)
     }
 
     /// Border routers of `asn` with links toward `next_as`, cached.
     pub fn borders(&self, asn: AsId, next_as: AsId) -> Arc<Vec<RouterId>> {
-        if let Some(b) = self.border_cache.read().get(&(asn.0, next_as.0)) {
-            return b.clone();
-        }
-        let computed = Arc::new(self.topo.border_routers_toward(asn, next_as));
-        let mut w = self.border_cache.write();
-        w.entry((asn.0, next_as.0)).or_insert(computed).clone()
+        self.border_cache.get_or_compute((asn.0, next_as.0), || {
+            Arc::new(self.topo.border_routers_toward(asn, next_as))
+        })
     }
 
     // ---- destinations -----------------------------------------------------
@@ -360,8 +372,11 @@ impl Sim {
         let r = self.topo.router(router);
         if let Some(p) = pid {
             if !r.load_balancer && self.behavior.violates_dbr(router, p) {
-                return (mix3(self.seed ^ 0xd8f7, meta.routing_src.0 as u64, router.0 as u64)
-                    % n as u64) as usize;
+                return (mix3(
+                    self.seed ^ 0xd8f7,
+                    meta.routing_src.0 as u64,
+                    router.0 as u64,
+                ) % n as u64) as usize;
             }
         }
         if r.load_balancer {
@@ -557,9 +572,7 @@ impl Sim {
             .expect("prefix registered with owner") as u32;
         // /24s #1..#15 of the block are reserved for host aliases.
         debug_assert!(pos < 15, "too many prefixes for alias space");
-        Some(Addr(
-            asn.block.base.0 + 256 * (1 + pos) + (host.0 & 0xFF),
-        ))
+        Some(Addr(asn.block.base.0 + 256 * (1 + pos) + (host.0 & 0xFF)))
     }
 
     /// Host addresses usable as probe targets inside a prefix
@@ -637,9 +650,7 @@ mod tests {
             if l.kind != LinkKind::Inter {
                 continue;
             }
-            for (addr, owner_router, far_router) in
-                [(l.addr_a, l.a, l.b), (l.addr_b, l.b, l.a)]
-            {
+            for (addr, owner_router, far_router) in [(l.addr_a, l.a, l.b), (l.addr_b, l.b, l.a)] {
                 let block_owner = s.topo().block_owner(addr).expect("public");
                 if s.topo().router_as(owner_router) != block_owner {
                     // Far-side interface: must anchor at the near router and
@@ -721,6 +732,38 @@ mod tests {
             let gw = s.prefix_gateway(pe.id);
             assert!(pe.prefix.contains(gw));
         }
+    }
+
+    #[test]
+    fn routes_compute_once_under_contention() {
+        // Regression test for the duplicated-compute race: before the
+        // single-flight cache, N workers asking for the same uncached
+        // (dst, salt) would each run the full valley-free BFS and the
+        // last write won. Now exactly one BFS runs.
+        let s = sim();
+        let dst = s.topo().ases[0].id;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let r = s.routes(dst, 42);
+                        assert!(r.reachable(dst));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            s.route_computes(),
+            1,
+            "8 threads hammering one destination must trigger exactly one bgp::routes_to"
+        );
+        // And every caller got the same shared table.
+        let a = s.routes(dst, 42);
+        let b = s.routes(dst, 42);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different salt is a different cache entry.
+        let _ = s.routes(dst, 43);
+        assert_eq!(s.route_computes(), 2);
     }
 
     #[test]

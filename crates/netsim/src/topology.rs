@@ -306,9 +306,7 @@ impl Topology {
     /// The announced /24 containing `addr`, if any. Host addresses resolve
     /// here; infrastructure addresses do not.
     pub fn prefix_of(&self, addr: Addr) -> Option<PrefixId> {
-        let i = self
-            .prefixes
-            .partition_point(|p| p.prefix.base.0 <= addr.0);
+        let i = self.prefixes.partition_point(|p| p.prefix.base.0 <= addr.0);
         if i == 0 {
             return None;
         }
@@ -422,7 +420,10 @@ mod tests {
         assert_eq!(topo.prefix_of(Addr::new(11, 1, 128, 77)), Some(PrefixId(1)));
         assert_eq!(topo.prefix_of(Addr::new(11, 1, 129, 0)), None);
         assert_eq!(topo.prefix_of(Addr::new(10, 0, 0, 1)), None);
-        assert_eq!(topo.prefix_of(Addr::new(11, 2, 128, 255)), Some(PrefixId(2)));
+        assert_eq!(
+            topo.prefix_of(Addr::new(11, 2, 128, 255)),
+            Some(PrefixId(2))
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ fn full_scale_asymmetry_exists_at_as_level() {
         }
     }
     assert!(sym > 0, "no symmetric pair at all");
-    assert!(asym > 0, "no asymmetric pair: the §6.2 study would be vacuous");
+    assert!(
+        asym > 0,
+        "no asymmetric pair: the §6.2 study would be vacuous"
+    );
     // Roughly half the paths asymmetric (paper: 47%).
     let frac = asym as f64 / (sym + asym) as f64;
     assert!(

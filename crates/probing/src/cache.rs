@@ -4,10 +4,14 @@
 //! them across reverse traceroutes (Insight 1.4 / Appx. D.2.2). Entries are
 //! keyed by the full probe identity and expire on *virtual* simulator time,
 //! so staleness interacts correctly with route churn.
+//!
+//! Both maps are lock-striped ([`StripedMap`]): every cached probe on the
+//! hot path does a lookup here, and a single global `RwLock` per map turns
+//! into a convoy under parallel campaign workers. The hit/miss/insert/
+//! expired counters are cache-line padded for the same reason.
 
-use parking_lot::RwLock;
-use revtr_netsim::{Addr, RrReply, Sim, TraceResult};
-use std::collections::HashMap;
+use revtr_netsim::{Addr, CachePadded, RrReply, Sim, StripedMap, TraceResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default cache TTL: one day of virtual time (paper Q1/D.2.2).
 pub const DEFAULT_TTL_HOURS: f64 = 24.0;
@@ -29,17 +33,47 @@ pub struct RrKey {
     pub dst: Addr,
 }
 
+/// Point-in-time cache effectiveness counters.
+///
+/// `hits + misses` equals total lookups; `expired` counts the subset of
+/// misses where an entry existed but had outlived the TTL.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a fresh entry.
+    pub hits: u64,
+    /// Lookups not answered (absent or expired).
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Misses caused by TTL expiry (entry present but stale).
+    pub expired: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Cached traceroutes, keyed by (source, destination).
-type TracerouteMap = HashMap<(Addr, Addr), Entry<Option<TraceResult>>>;
+type TracerouteMap = StripedMap<(Addr, Addr), Entry<Option<TraceResult>>>;
 
 /// TTL-based cache for traceroutes and RR replies.
 #[derive(Debug)]
 pub struct MeasurementCache {
     ttl_hours: f64,
-    traceroutes: RwLock<TracerouteMap>,
-    rr: RwLock<HashMap<RrKey, Entry<Option<RrReply>>>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    traceroutes: TracerouteMap,
+    rr: StripedMap<RrKey, Entry<Option<RrReply>>>,
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+    inserts: CachePadded<AtomicU64>,
+    expired: CachePadded<AtomicU64>,
 }
 
 impl MeasurementCache {
@@ -52,10 +86,12 @@ impl MeasurementCache {
     pub fn with_ttl(ttl_hours: f64) -> MeasurementCache {
         MeasurementCache {
             ttl_hours,
-            traceroutes: RwLock::new(HashMap::new()),
-            rr: RwLock::new(HashMap::new()),
+            traceroutes: StripedMap::new(),
+            rr: StripedMap::new(),
             hits: Default::default(),
             misses: Default::default(),
+            inserts: Default::default(),
+            expired: Default::default(),
         }
     }
 
@@ -63,27 +99,35 @@ impl MeasurementCache {
         now - at <= self.ttl_hours
     }
 
-    /// Cached traceroute from `src` to `dst`, if fresh.
-    pub fn get_traceroute(&self, sim: &Sim, src: Addr, dst: Addr) -> Option<Option<TraceResult>> {
-        let now = sim.now_hours();
-        let g = self.traceroutes.read();
-        match g.get(&(src, dst)) {
+    /// Classify a looked-up entry, bumping the stats counters.
+    fn classify<T>(&self, entry: Option<Entry<T>>, now: f64) -> Option<T> {
+        match entry {
             Some(e) if self.fresh(e.at_hours, now) => {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Some(e.value.clone())
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value)
             }
-            _ => {
-                self.misses
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(_) => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
+    /// Cached traceroute from `src` to `dst`, if fresh.
+    pub fn get_traceroute(&self, sim: &Sim, src: Addr, dst: Addr) -> Option<Option<TraceResult>> {
+        let now = sim.now_hours();
+        self.classify(self.traceroutes.get(&(src, dst)), now)
+    }
+
     /// Store a traceroute outcome (including "no answer").
     pub fn put_traceroute(&self, sim: &Sim, src: Addr, dst: Addr, v: Option<TraceResult>) {
-        self.traceroutes.write().insert(
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.traceroutes.insert(
             (src, dst),
             Entry {
                 at_hours: sim.now_hours(),
@@ -95,24 +139,13 @@ impl MeasurementCache {
     /// Cached RR measurement, if fresh.
     pub fn get_rr(&self, sim: &Sim, key: RrKey) -> Option<Option<RrReply>> {
         let now = sim.now_hours();
-        let g = self.rr.read();
-        match g.get(&key) {
-            Some(e) if self.fresh(e.at_hours, now) => {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Some(e.value.clone())
-            }
-            _ => {
-                self.misses
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                None
-            }
-        }
+        self.classify(self.rr.get(&key), now)
     }
 
     /// Store an RR outcome (including "no answer").
     pub fn put_rr(&self, sim: &Sim, key: RrKey, v: Option<RrReply>) {
-        self.rr.write().insert(
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.rr.insert(
             key,
             Entry {
                 at_hours: sim.now_hours(),
@@ -121,18 +154,20 @@ impl MeasurementCache {
         );
     }
 
-    /// (hits, misses) so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(std::sync::atomic::Ordering::Relaxed),
-            self.misses.load(std::sync::atomic::Ordering::Relaxed),
-        )
+    /// Effectiveness counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
     }
 
     /// Drop everything (e.g. when rebuilding an atlas from scratch).
     pub fn clear(&self) {
-        self.traceroutes.write().clear();
-        self.rr.write().clear();
+        self.traceroutes.clear();
+        self.rr.clear();
     }
 }
 
@@ -159,9 +194,12 @@ mod tests {
         // Expire by advancing virtual time beyond the TTL.
         sim.advance_hours(2.0);
         assert!(cache.get_traceroute(&sim, a, b).is_none());
-        let (h, m) = cache.stats();
-        assert_eq!(h, 1);
-        assert_eq!(m, 2);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.expired, 1, "the post-TTL miss found a stale entry");
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -181,5 +219,34 @@ mod tests {
         cache.put_rr(&sim, k1, None);
         assert!(cache.get_rr(&sim, k1).is_some());
         assert!(cache.get_rr(&sim, k2).is_none());
+    }
+
+    #[test]
+    fn concurrent_mixed_load_keeps_counts_consistent() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let cache = MeasurementCache::new();
+        std::thread::scope(|s| {
+            for t in 0u32..8 {
+                let cache = &cache;
+                let sim = &sim;
+                s.spawn(move || {
+                    for i in 0u32..200 {
+                        let a = Addr::new(10, (t % 4) as u8, (i % 16) as u8, 1);
+                        let b = Addr::new(10, 0, 0, 2);
+                        if cache.get_traceroute(sim, a, b).is_none() {
+                            cache.put_traceroute(sim, a, b, None);
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200, "every lookup is classified");
+        assert!(s.hits > 0 && s.misses > 0);
+        assert_eq!(s.expired, 0);
+        assert!(
+            s.inserts >= 4 * 16,
+            "each distinct key inserted at least once"
+        );
     }
 }

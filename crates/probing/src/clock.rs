@@ -4,9 +4,19 @@
 //! their simulated RTT, spoofed batches by their 10-second collection
 //! timeout (paper §5.2.4). The clock periodically flushes accumulated time
 //! into the simulator so route churn progresses while campaigns run.
+//!
+//! Every probe charges the clock, so this is one of the hottest shared
+//! structures in a parallel campaign. Instead of one global mutex, time
+//! accumulates into an array of cache-line-padded atomic slots: each
+//! thread is assigned a slot by affinity and CAS-adds its advances there,
+//! so concurrent workers touch disjoint cache lines. `now_ms` sums the
+//! slots — totals stay immediately, globally accurate — and each slot
+//! flushes its own pending time into churn at the same 1-virtual-minute
+//! threshold as before, preserving churn semantics (serial runs flush at
+//! bit-identical points).
 
-use parking_lot::Mutex;
-use revtr_netsim::Sim;
+use revtr_netsim::{CachePadded, Sim};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Spoofed-probe batch collection timeout, in virtual milliseconds
 /// (paper §5.2.4: "we empirically set this timeout to 10 seconds").
@@ -15,16 +25,45 @@ pub const SPOOF_BATCH_TIMEOUT_MS: f64 = 10_000.0;
 /// Accumulated virtual time pending before a churn flush (1 virtual minute).
 const FLUSH_THRESHOLD_MS: f64 = 60_000.0;
 
+/// Number of padded accumulation slots. Threads beyond this many share
+/// slots (all updates are CAS loops, so sharing is safe, just slower).
+const N_SLOTS: usize = 16;
+
+/// Per-slot accumulators; both store `f64::to_bits`.
 #[derive(Debug, Default)]
-struct State {
-    total_ms: f64,
-    pending_ms: f64,
+struct TimeSlot {
+    total_ms: AtomicU64,
+    pending_ms: AtomicU64,
+}
+
+/// CAS-add `delta` to an f64 stored as bits in `a`; returns the new value.
+fn add_f64(a: &AtomicU64, delta: f64) -> f64 {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + delta;
+        match a.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return new,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Atomically take the whole f64 out of `a`, leaving zero.
+fn take_f64(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.swap(0.0f64.to_bits(), Ordering::Relaxed))
+}
+
+thread_local! {
+    static SLOT_IDX: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % N_SLOTS
+    };
 }
 
 /// A shareable virtual clock.
 #[derive(Debug, Default)]
 pub struct Clock {
-    state: Mutex<State>,
+    slots: [CachePadded<TimeSlot>; N_SLOTS],
 }
 
 impl Clock {
@@ -33,9 +72,13 @@ impl Clock {
         Clock::default()
     }
 
-    /// Total virtual milliseconds elapsed.
+    /// Total virtual milliseconds elapsed (sum over all threads' advances;
+    /// immediately accurate, not batched).
     pub fn now_ms(&self) -> f64 {
-        self.state.lock().total_ms
+        self.slots
+            .iter()
+            .map(|s| f64::from_bits(s.total_ms.load(Ordering::Relaxed)))
+            .sum()
     }
 
     /// Total virtual seconds elapsed.
@@ -43,33 +86,24 @@ impl Clock {
         self.now_ms() / 1000.0
     }
 
-    /// Advance the clock; flushes churn time into `sim` once enough has
-    /// accumulated.
+    /// Advance the clock; flushes churn time into `sim` once this thread's
+    /// slot has accumulated enough.
     pub fn advance(&self, ms: f64, sim: &Sim) {
         debug_assert!(ms >= 0.0, "time flows forward");
-        let flush = {
-            let mut st = self.state.lock();
-            st.total_ms += ms;
-            st.pending_ms += ms;
-            if st.pending_ms >= FLUSH_THRESHOLD_MS {
-                let p = st.pending_ms;
-                st.pending_ms = 0.0;
-                Some(p)
-            } else {
-                None
+        let slot = &self.slots[SLOT_IDX.with(|i| *i)];
+        add_f64(&slot.total_ms, ms);
+        if add_f64(&slot.pending_ms, ms) >= FLUSH_THRESHOLD_MS {
+            let p = take_f64(&slot.pending_ms);
+            if p > 0.0 {
+                sim.advance_hours(p / 3_600_000.0);
             }
-        };
-        if let Some(p) = flush {
-            sim.advance_hours(p / 3_600_000.0);
         }
     }
 
-    /// Force any pending time into the simulator's churn process.
+    /// Force all pending time (every slot) into the simulator's churn
+    /// process.
     pub fn flush(&self, sim: &Sim) {
-        let p = {
-            let mut st = self.state.lock();
-            std::mem::take(&mut st.pending_ms)
-        };
+        let p: f64 = self.slots.iter().map(|s| take_f64(&s.pending_ms)).sum();
         if p > 0.0 {
             sim.advance_hours(p / 3_600_000.0);
         }
@@ -101,5 +135,26 @@ mod tests {
         let clock = Clock::new();
         clock.advance(120_000.0, &sim);
         assert!(sim.now_hours() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_advances_sum_exactly() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let clock = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        clock.advance(2.5, &sim);
+                    }
+                });
+            }
+        });
+        // 8 threads x 1000 advances x 2.5 ms: each addend is exactly
+        // representable, so the total is exact regardless of interleaving.
+        assert_eq!(clock.now_ms(), 8.0 * 1000.0 * 2.5);
+        // Everything below per-slot threshold: flush drains the remainder.
+        clock.flush(&sim);
+        assert!((sim.now_hours() - 20_000.0 / 3_600_000.0).abs() < 1e-9);
     }
 }

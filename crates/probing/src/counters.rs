@@ -1,30 +1,77 @@
 //! Probe accounting, in the categories of the paper's Table 4.
 //!
 //! Counters are atomic so campaigns can run across threads; snapshots and
-//! diffs make per-measurement attribution trivial.
+//! diffs make per-measurement attribution trivial. Each counter sits on
+//! its own cache line ([`CachePadded`]): eight adjacent `AtomicU64`s would
+//! otherwise false-share, turning independent per-category increments
+//! from parallel workers into a single contended line.
+//!
+//! Besides the global totals, every increment is mirrored into a
+//! *per-thread* shadow ([`Counters::thread_snapshot`]). A measurement runs
+//! synchronously on one thread, so diffing the thread shadow around it
+//! attributes exactly its own probes — diffing the global totals would
+//! fold in whatever concurrent workers sent during the same window,
+//! making per-request probe counts depend on the worker count.
 
+use revtr_netsim::CachePadded;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live atomic probe counters.
-#[derive(Debug, Default)]
-pub struct Counters {
+/// The probe categories tracked (Table 4 plus infrastructure kinds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
     /// Plain pings (not in Table 4, tracked for completeness).
-    pub ping: AtomicU64,
+    Ping,
     /// Non-spoofed RR pings.
-    pub rr: AtomicU64,
+    Rr,
     /// Spoofed RR pings.
-    pub spoof_rr: AtomicU64,
+    SpoofRr,
     /// Non-spoofed TS pings.
-    pub ts: AtomicU64,
+    Ts,
     /// Spoofed TS pings.
-    pub spoof_ts: AtomicU64,
+    SpoofTs,
     /// Traceroute packets (one per TTL probe).
-    pub traceroute_pkts: AtomicU64,
+    TraceroutePkts,
     /// Whole traceroutes.
-    pub traceroutes: AtomicU64,
+    Traceroutes,
     /// RR pings issued for the background RR-atlas (§4.2), kept separate so
     /// online vs offline overhead can be reported (paper: 1M of 127M).
-    pub atlas_rr: AtomicU64,
+    AtlasRr,
+}
+
+const N_KINDS: usize = 8;
+
+impl ProbeKind {
+    fn index(self) -> usize {
+        match self {
+            ProbeKind::Ping => 0,
+            ProbeKind::Rr => 1,
+            ProbeKind::SpoofRr => 2,
+            ProbeKind::Ts => 3,
+            ProbeKind::SpoofTs => 4,
+            ProbeKind::TraceroutePkts => 5,
+            ProbeKind::Traceroutes => 6,
+            ProbeKind::AtlasRr => 7,
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's contribution per `Counters` instance (keyed by its
+    /// unique id).
+    static SHADOW: RefCell<HashMap<u64, [u64; N_KINDS]>> = RefCell::new(HashMap::new());
+}
+
+/// Unique-id source for `Counters` instances (ids are never reused, so a
+/// stale shadow entry can't alias a new instance).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Live atomic probe counters.
+#[derive(Debug)]
+pub struct Counters {
+    id: u64,
+    totals: [CachePadded<AtomicU64>; N_KINDS],
 }
 
 /// A point-in-time copy of the counters.
@@ -49,6 +96,19 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    fn from_array(v: &[u64; N_KINDS]) -> Snapshot {
+        Snapshot {
+            ping: v[0],
+            rr: v[1],
+            spoof_rr: v[2],
+            ts: v[3],
+            spoof_ts: v[4],
+            traceroute_pkts: v[5],
+            traceroutes: v[6],
+            atlas_rr: v[7],
+        }
+    }
+
     /// Table 4's "Total": option-carrying probes (RR + Spoof RR + TS +
     /// Spoof TS), excluding traceroutes and plain pings, as the paper does.
     pub fn option_probes(&self) -> u64 {
@@ -92,31 +152,51 @@ impl Snapshot {
 impl Counters {
     /// Fresh zeroed counters.
     pub fn new() -> Counters {
-        Counters::default()
-    }
-
-    /// Copy current values.
-    pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            ping: self.ping.load(Ordering::Relaxed),
-            rr: self.rr.load(Ordering::Relaxed),
-            spoof_rr: self.spoof_rr.load(Ordering::Relaxed),
-            ts: self.ts.load(Ordering::Relaxed),
-            spoof_ts: self.spoof_ts.load(Ordering::Relaxed),
-            traceroute_pkts: self.traceroute_pkts.load(Ordering::Relaxed),
-            traceroutes: self.traceroutes.load(Ordering::Relaxed),
-            atlas_rr: self.atlas_rr.load(Ordering::Relaxed),
+        Counters {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            totals: Default::default(),
         }
     }
 
+    /// Copy current global values (all threads).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut v = [0u64; N_KINDS];
+        for (slot, total) in v.iter_mut().zip(&self.totals) {
+            *slot = total.load(Ordering::Relaxed);
+        }
+        Snapshot::from_array(&v)
+    }
+
+    /// Copy the calling thread's contribution only. Diffing this around a
+    /// measurement attributes exactly the probes that measurement sent,
+    /// regardless of what other workers do concurrently.
+    pub fn thread_snapshot(&self) -> Snapshot {
+        SHADOW.with(|s| {
+            s.borrow()
+                .get(&self.id)
+                .map(Snapshot::from_array)
+                .unwrap_or_default()
+        })
+    }
+
     /// Increment a counter by one.
-    pub(crate) fn bump(&self, c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(&self, kind: ProbeKind) {
+        self.add(kind, 1);
     }
 
     /// Increment a counter by `n`.
-    pub(crate) fn add(&self, c: &AtomicU64, n: u64) {
-        c.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn add(&self, kind: ProbeKind, n: u64) {
+        let i = kind.index();
+        self.totals[i].fetch_add(n, Ordering::Relaxed);
+        SHADOW.with(|s| {
+            s.borrow_mut().entry(self.id).or_default()[i] += n;
+        });
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters::new()
     }
 }
 
@@ -127,11 +207,11 @@ mod tests {
     #[test]
     fn snapshot_diff_and_sum() {
         let c = Counters::new();
-        c.bump(&c.rr);
-        c.bump(&c.rr);
-        c.bump(&c.spoof_rr);
+        c.bump(ProbeKind::Rr);
+        c.bump(ProbeKind::Rr);
+        c.bump(ProbeKind::SpoofRr);
         let a = c.snapshot();
-        c.add(&c.ts, 5);
+        c.add(ProbeKind::Ts, 5);
         let b = c.snapshot();
         let d = b.since(&a);
         assert_eq!(d.rr, 0);
@@ -144,10 +224,44 @@ mod tests {
     #[test]
     fn all_packets_counts_everything() {
         let c = Counters::new();
-        c.add(&c.ping, 2);
-        c.add(&c.traceroute_pkts, 7);
-        c.add(&c.atlas_rr, 3);
-        c.add(&c.spoof_ts, 1);
+        c.add(ProbeKind::Ping, 2);
+        c.add(ProbeKind::TraceroutePkts, 7);
+        c.add(ProbeKind::AtlasRr, 3);
+        c.add(ProbeKind::SpoofTs, 1);
         assert_eq!(c.snapshot().all_packets(), 2 + 7 + 3 + 1);
+    }
+
+    #[test]
+    fn thread_snapshot_attributes_per_thread() {
+        let c = Counters::new();
+        c.add(ProbeKind::Rr, 3);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let before = c.thread_snapshot();
+                    assert_eq!(before, Snapshot::default(), "fresh thread starts at zero");
+                    c.add(ProbeKind::SpoofRr, 2);
+                    let mine = c.thread_snapshot().since(&before);
+                    assert_eq!(mine.spoof_rr, 2);
+                    assert_eq!(mine.rr, 0, "other threads' rr not attributed here");
+                });
+            }
+        });
+        // Globals see everything.
+        let g = c.snapshot();
+        assert_eq!(g.rr, 3);
+        assert_eq!(g.spoof_rr, 8);
+        // This thread only its own.
+        assert_eq!(c.thread_snapshot().rr, 3);
+        assert_eq!(c.thread_snapshot().spoof_rr, 0);
+    }
+
+    #[test]
+    fn instances_do_not_share_shadows() {
+        let a = Counters::new();
+        let b = Counters::new();
+        a.bump(ProbeKind::Ping);
+        assert_eq!(b.thread_snapshot().ping, 0);
+        assert_eq!(a.thread_snapshot().ping, 1);
     }
 }

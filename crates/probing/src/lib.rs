@@ -31,7 +31,7 @@ pub mod clock;
 pub mod counters;
 pub mod prober;
 
-pub use cache::{MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
+pub use cache::{CacheStats, MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
 pub use clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
-pub use counters::{Counters, Snapshot};
+pub use counters::{Counters, ProbeKind, Snapshot};
 pub use prober::{Prober, PROBE_TIMEOUT_MS, TRACEROUTE_TIMEOUT_MS};

@@ -6,7 +6,7 @@
 
 use crate::cache::{MeasurementCache, RrKey};
 use crate::clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
-use crate::counters::Counters;
+use crate::counters::{Counters, ProbeKind};
 use revtr_netsim::{Addr, EchoReply, RrReply, Sim, TraceResult, TsReply};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,7 +84,7 @@ impl<'s> Prober<'s> {
 
     /// Plain ping.
     pub fn ping(&self, src: Addr, dst: Addr) -> Option<EchoReply> {
-        self.counters.bump(&self.counters.ping);
+        self.counters.bump(ProbeKind::Ping);
         let r = self.sim.ping(src, dst);
         self.charge(r.as_ref().map(|x| x.rtt_ms));
         r
@@ -105,7 +105,7 @@ impl<'s> Prober<'s> {
                 return hit;
             }
         }
-        self.counters.bump(&self.counters.rr);
+        self.counters.bump(ProbeKind::Rr);
         let r = self.sim.rr_ping(src, dst, self.next_nonce());
         self.charge(r.as_ref().map(|x| x.rtt_ms));
         self.cache.put_rr(self.sim, key, r.clone());
@@ -115,7 +115,7 @@ impl<'s> Prober<'s> {
     /// RR ping issued for the background RR-atlas (§4.2): identical
     /// semantics, separate accounting (offline budget).
     pub fn atlas_rr_ping(&self, sender: Addr, claimed: Addr, dst: Addr) -> Option<RrReply> {
-        self.counters.bump(&self.counters.atlas_rr);
+        self.counters.bump(ProbeKind::AtlasRr);
         let r = self
             .sim
             .rr_ping_from(sender, claimed, dst, self.next_nonce());
@@ -127,11 +127,7 @@ impl<'s> Prober<'s> {
     /// `(vantage point, destination)` pair. The whole batch costs one
     /// 10-second collection timeout of virtual time (§5.2.4), which is what
     /// makes batch count the dominant latency factor (Fig. 5c).
-    pub fn spoofed_rr_batch(
-        &self,
-        pairs: &[(Addr, Addr)],
-        claimed: Addr,
-    ) -> Vec<Option<RrReply>> {
+    pub fn spoofed_rr_batch(&self, pairs: &[(Addr, Addr)], claimed: Addr) -> Vec<Option<RrReply>> {
         if pairs.is_empty() {
             return Vec::new();
         }
@@ -148,10 +144,8 @@ impl<'s> Prober<'s> {
                     continue;
                 }
             }
-            self.counters.bump(&self.counters.spoof_rr);
-            let r = self
-                .sim
-                .rr_ping_from(vp, claimed, dst, self.next_nonce());
+            self.counters.bump(ProbeKind::SpoofRr);
+            let r = self.sim.rr_ping_from(vp, claimed, dst, self.next_nonce());
             self.cache.put_rr(self.sim, key, r.clone());
             out.push(r);
         }
@@ -163,7 +157,7 @@ impl<'s> Prober<'s> {
 
     /// Non-spoofed TS-prespec ping.
     pub fn ts_ping(&self, src: Addr, dst: Addr, prespec: &[Addr]) -> Option<TsReply> {
-        self.counters.bump(&self.counters.ts);
+        self.counters.bump(ProbeKind::Ts);
         let r = self
             .sim
             .ts_ping_from(src, src, dst, prespec, self.next_nonce());
@@ -182,7 +176,7 @@ impl<'s> Prober<'s> {
         }
         let mut out = Vec::with_capacity(probes.len());
         for (vp, dst, prespec) in probes {
-            self.counters.bump(&self.counters.spoof_ts);
+            self.counters.bump(ProbeKind::SpoofTs);
             out.push(
                 self.sim
                     .ts_ping_from(*vp, claimed, *dst, prespec, self.next_nonce()),
@@ -210,11 +204,11 @@ impl<'s> Prober<'s> {
     pub fn traceroute_fresh(&self, src: Addr, dst: Addr) -> Option<TraceResult> {
         let flow = (revtr_netsim::hash::mix2(src.0 as u64, dst.0 as u64) & 0xFFFF) as u16;
         let r = self.sim.traceroute(src, dst, flow);
-        self.counters.bump(&self.counters.traceroutes);
+        self.counters.bump(ProbeKind::Traceroutes);
         match &r {
             Some(t) => {
                 self.counters
-                    .add(&self.counters.traceroute_pkts, t.hops.len() as u64);
+                    .add(ProbeKind::TraceroutePkts, t.hops.len() as u64);
                 self.clock.advance(t.rtt_ms, self.sim);
             }
             None => self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim),
@@ -305,10 +299,7 @@ mod tests {
         let vp0 = s.topo().vp_sites[0].host;
         let vp1 = s.topo().vp_sites[1].host;
         let t = p.traceroute_fresh(vp0, vp1).expect("VPs reachable");
-        assert_eq!(
-            p.counters().snapshot().traceroute_pkts,
-            t.hops.len() as u64
-        );
+        assert_eq!(p.counters().snapshot().traceroute_pkts, t.hops.len() as u64);
     }
 }
 

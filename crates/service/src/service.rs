@@ -14,8 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// tune the request, such as how stale traceroutes are allowed to be and
 /// whether to run a forward traceroute after the Reverse Traceroute
 /// completes").
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, Default)]
 pub struct RequestOptions {
     /// Maximum acceptable age (virtual hours) of the atlas traceroute the
     /// measurement intersects; the source's atlas is refreshed first when
@@ -25,7 +24,6 @@ pub struct RequestOptions {
     /// alongside the reverse path.
     pub with_forward_traceroute: bool,
 }
-
 
 /// A served request: the reverse traceroute plus optional extras.
 #[derive(Clone, Debug)]
@@ -139,12 +137,13 @@ impl<'s> RevtrService<'s> {
         src: Addr,
         opts: RequestOptions,
     ) -> Result<ServedRequest, ServiceError> {
-        let permit = self
-            .users
-            .admit(key, src, self.system.sim().now_hours())?;
+        let permit = self.users.admit(key, src, self.system.sim().now_hours())?;
         let reverse = {
             let result = self.system.measure(dst, src);
-            match (opts.max_atlas_age_hours, result.stats.intersected_trace_age_h) {
+            match (
+                opts.max_atlas_age_hours,
+                result.stats.intersected_trace_age_h,
+            ) {
                 (Some(max), Some(age)) if age > max => {
                     // Too stale: refresh the atlas and re-measure.
                     self.system.refresh_atlas(src);
@@ -182,32 +181,39 @@ impl<'s> RevtrService<'s> {
         // per-user limits; the parallel-slot limit is replaced by the
         // worker count here).
         for &(_, src) in pairs {
-            let permit = self
-                .users
-                .admit(key, src, self.system.sim().now_hours())?;
+            let permit = self.users.admit(key, src, self.system.sim().now_hours())?;
             drop(permit);
         }
-        let workers = workers.max(1);
+        let workers = workers.max(1).min(pairs.len().max(1));
         let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<RevtrResult>>> =
-            (0..pairs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        // Workers stream `(index, result)` over a channel instead of writing
+        // into per-slot mutexes: sends are lock-free on the hot path and the
+        // collector re-orders into input order at the end.
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, RevtrResult)>();
         crossbeam::thread::scope(|s| {
-            for _ in 0..workers.min(pairs.len().max(1)) {
-                s.spawn(|_| loop {
+            let next = &next;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move |_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= pairs.len() {
                         break;
                     }
                     let (dst, src) = pairs[i];
                     let r = self.system.measure(dst, src);
-                    *results[i].lock() = Some(r);
+                    tx.send((i, r)).expect("batch collector alive");
                 });
             }
         })
         .expect("campaign worker panicked");
-        let out: Vec<RevtrResult> = results
+        drop(tx);
+        let mut slots: Vec<Option<RevtrResult>> = (0..pairs.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        let out: Vec<RevtrResult> = slots
             .into_iter()
-            .map(|m| m.into_inner().expect("every index measured"))
+            .map(|m| m.expect("every index measured"))
             .collect();
         for r in &out {
             self.store.push(r);

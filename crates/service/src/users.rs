@@ -181,7 +181,10 @@ mod tests {
         );
         assert_eq!(db.user_name(key).as_deref(), Some("alice"));
         let src = Addr::new(11, 0, 128, 4);
-        assert_eq!(db.admit(key, src, 0.0).unwrap_err(), UserError::UnknownSource);
+        assert_eq!(
+            db.admit(key, src, 0.0).unwrap_err(),
+            UserError::UnknownSource
+        );
         db.add_source(key, src).expect("user exists");
 
         let p1 = db.admit(key, src, 0.0).expect("first admit");

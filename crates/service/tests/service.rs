@@ -91,7 +91,9 @@ fn batch_campaign_parallel_matches_serial() {
     let src = sim.topo().vp_sites[0].host;
     service.add_source(key, src).expect("bootstrap");
 
-    let pairs: Vec<(Addr, Addr)> = (0..8).map(|i| (responsive_dest(&sim, i * 3), src)).collect();
+    let pairs: Vec<(Addr, Addr)> = (0..8)
+        .map(|i| (responsive_dest(&sim, i * 3), src))
+        .collect();
     let out = service.batch(key, &pairs, 4).expect("campaign runs");
     assert_eq!(out.len(), pairs.len());
     for (r, &(d, s)) in out.iter().zip(&pairs) {
@@ -187,7 +189,9 @@ fn batch_campaigns_charge_the_daily_quota() {
     );
     let src = sim.topo().vp_sites[0].host;
     service.add_source(key, src).expect("bootstrap");
-    let pairs: Vec<(Addr, Addr)> = (0..3).map(|i| (responsive_dest(&sim, i * 2), src)).collect();
+    let pairs: Vec<(Addr, Addr)> = (0..3)
+        .map(|i| (responsive_dest(&sim, i * 2), src))
+        .collect();
     service.batch(key, &pairs, 2).expect("within quota");
     // The quota is now exhausted: another single request must be refused.
     let dst = responsive_dest(&sim, 9);

@@ -148,7 +148,12 @@ impl IngressDb {
             }
         }
         let mut order: Vec<Addr> = vps.to_vec();
-        order.sort_by_key(|v| (std::cmp::Reverse(in_range.get(v).copied().unwrap_or(0)), v.0));
+        order.sort_by_key(|v| {
+            (
+                std::cmp::Reverse(in_range.get(v).copied().unwrap_or(0)),
+                v.0,
+            )
+        });
         self.global_order = order;
     }
 
@@ -211,12 +216,7 @@ impl IngressDb {
 }
 
 /// Probe one prefix from all VPs and derive its [`PrefixInfo`].
-pub fn probe_prefix(
-    prober: &Prober<'_>,
-    vps: &[Addr],
-    p: PrefixId,
-    h: Heuristics,
-) -> PrefixInfo {
+pub fn probe_prefix(prober: &Prober<'_>, vps: &[Addr], p: PrefixId, h: Heuristics) -> PrefixInfo {
     let sim = prober.sim();
     let prefix = sim.topo().prefix(p).prefix;
 
@@ -268,11 +268,7 @@ pub fn probe_prefix(
             .candidates
             .iter()
             .enumerate()
-            .filter(|(_, a)| {
-                per_dest[1..]
-                    .iter()
-                    .all(|v| v.candidates.contains(a))
-            })
+            .filter(|(_, a)| per_dest[1..].iter().all(|v| v.candidates.contains(a)))
             .map(|(i, &a)| (a, i))
             .collect();
         views.insert(
@@ -418,7 +414,11 @@ mod tests {
             let db = IngressDb::build(&prober, &vps, &prefixes, h);
             prefixes
                 .iter()
-                .filter(|&&p| db.prefix(p).map(|i| !i.ingresses.is_empty()).unwrap_or(false))
+                .filter(|&&p| {
+                    db.prefix(p)
+                        .map(|i| !i.ingresses.is_empty())
+                        .unwrap_or(false)
+                })
                 .count()
         };
         let base = count_found(Heuristics::INGRESS_ONLY);
@@ -473,7 +473,7 @@ pub fn third_destination_consistent(
             consistent += 1;
         }
     }
-    (checked > 0).then(|| consistent == checked)
+    (checked > 0).then_some(consistent == checked)
 }
 
 #[cfg(test)]
@@ -486,13 +486,11 @@ mod stability_tests {
         let sim = Sim::build(SimConfig::tiny(), 19);
         let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
         let prober = Prober::new(&sim);
-        let prefixes: Vec<PrefixId> =
-            sim.topo().prefixes.iter().map(|p| p.id).take(40).collect();
+        let prefixes: Vec<PrefixId> = sim.topo().prefixes.iter().map(|p| p.id).take(40).collect();
         let db = IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL);
         let (mut stable, mut total) = (0, 0);
         for (p, info) in db.prefixes() {
-            if let Some(ok) =
-                third_destination_consistent(&prober, &vps, info, p, Heuristics::FULL)
+            if let Some(ok) = third_destination_consistent(&prober, &vps, info, p, Heuristics::FULL)
             {
                 total += 1;
                 if ok {

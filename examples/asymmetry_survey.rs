@@ -24,7 +24,10 @@ fn main() {
     println!("bidirectional pairs attempted: {}\n", workload.len());
 
     let report = asymmetry::run(&ctx, &ingress, &workload);
-    println!("pairs with complete forward + reverse paths: {}", report.pairs.len());
+    println!(
+        "pairs with complete forward + reverse paths: {}",
+        report.pairs.len()
+    );
     println!(
         "AS-symmetric fraction: {:.2}  (paper: 0.53 — 'only 53% of paths are \
          symmetric even at the coarse AS granularity')\n",

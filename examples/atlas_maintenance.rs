@@ -57,10 +57,9 @@ fn main() {
         // Verify the intersected trace against a fresh re-measurement.
         let atlas = system.atlas(src);
         let trace = &atlas.traces[t];
-        if let (Some(hop_addr), Some(fresh)) = (
-            trace.hops[h],
-            prober.traceroute_fresh(trace.vp, src),
-        ) {
+        if let (Some(hop_addr), Some(fresh)) =
+            (trace.hops[h], prober.traceroute_fresh(trace.vp, src))
+        {
             if !fresh.responsive_hops().any(|x| x == hop_addr) {
                 stale += 1;
                 println!(

@@ -73,9 +73,7 @@ fn main() {
 
     // The NDT hook: a speed-test client triggers a complementary reverse
     // traceroute to the serving M-Lab node.
-    let ndt = service
-        .on_ndt_test(dests[1], vps[1])
-        .expect("load permits");
+    let ndt = service.on_ndt_test(dests[1], vps[1]).expect("load permits");
     println!(
         "NDT-triggered: client {} -> server {}: {:?}",
         ndt.dst, ndt.src, ndt.status

@@ -53,7 +53,11 @@ fn main() {
             .addr
             .map(|a| a.to_string())
             .unwrap_or_else(|| "*".to_string());
-        let star = if hop.suspicious_gap_before { " (* gap)" } else { "" };
+        let star = if hop.suspicious_gap_before {
+            " (* gap)"
+        } else {
+            ""
+        };
         let how = match hop.method {
             HopMethod::Destination => "destination",
             HopMethod::AtlasIntersection => "atlas intersection",

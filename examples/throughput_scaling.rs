@@ -1,0 +1,69 @@
+//! Standalone runner for the implementation-throughput experiment
+//! (`eval::throughput`): 1/2/4/8-worker wall-clock revtrs/s plus cache
+//! effectiveness, without the full `reproduce_all` campaign.
+//!
+//! ```text
+//! cargo run --release --example throughput_scaling [smoke|medium|standard] [repeat]
+//! ```
+//!
+//! `repeat` (default 1) cycles the workload that many times per run —
+//! use it to stretch wall times past the noise floor when comparing
+//! builds (e.g. `standard 5` measures 10,000 revtrs per worker count).
+//!
+//! `medium` (default) runs the paper-era topology at a reduced workload —
+//! a couple of minutes in release mode — and is the configuration whose
+//! numbers are recorded in EXPERIMENTS.md.
+
+use revtr_suite::eval::context::{EvalContext, EvalScale};
+use revtr_suite::eval::throughput;
+use revtr_suite::netsim::SimConfig;
+use revtr_suite::vpselect::Heuristics;
+use std::sync::Arc;
+
+fn main() {
+    let scale_name = std::env::args().nth(1).unwrap_or_else(|| "medium".into());
+    let (cfg, scale) = match scale_name.as_str() {
+        "smoke" => (SimConfig::tiny(), EvalScale::smoke()),
+        "medium" => (
+            SimConfig::era_2020(),
+            EvalScale {
+                prefix_sample: 300,
+                n_revtrs: 400,
+                atlas_size: 120,
+                atlas_pool: 600,
+                n_sources: 4,
+                seed: 1,
+            },
+        ),
+        "standard" => (SimConfig::era_2020(), EvalScale::standard()),
+        other => {
+            eprintln!("unknown scale {other:?}: use smoke|medium|standard");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("building simulator + ingress db ({scale_name})...");
+    let ctx = EvalContext::new(cfg, scale);
+    let prober = ctx.prober();
+    let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
+    let repeat: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("repeat must be a positive integer"))
+        .unwrap_or(1)
+        .max(1);
+    let base = ctx.workload();
+    let workload: Vec<_> = base
+        .iter()
+        .copied()
+        .cycle()
+        .take(base.len() * repeat)
+        .collect();
+    eprintln!(
+        "workload: {} revtrs ({} pairs x {repeat})",
+        workload.len(),
+        base.len()
+    );
+
+    let report = throughput::run(&ctx, &ingress, &workload);
+    println!("{}", report.table().render());
+}

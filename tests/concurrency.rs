@@ -44,8 +44,9 @@ fn concurrent_measurements_match_serial_with_warm_caches() {
     let serial: Vec<_> = ds.iter().map(|&d| sys.measure(d, src)).collect();
 
     // Concurrent run over the same pairs.
-    let results: Vec<parking_lot_stub::Slot> =
-        (0..ds.len()).map(|_| parking_lot_stub::Slot::new()).collect();
+    let results: Vec<parking_lot_stub::Slot> = (0..ds.len())
+        .map(|_| parking_lot_stub::Slot::new())
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..6 {
@@ -83,6 +84,88 @@ fn concurrent_source_registration_is_idempotent() {
     });
     assert_eq!(sys.sources(), vec![src]);
     assert!(!sys.atlas(src).traces.is_empty());
+}
+
+/// One small campaign on a fresh, identically-seeded stack: a serial warm
+/// pass over all pairs, then a measured pass over the same pairs with
+/// `workers` threads. Returns the measured pass's per-request
+/// (status, path, probe counts), in input order.
+///
+/// The warm pass pins down cache attribution: on a cold cache, requests
+/// share cacheable keys (non-spoofed RR probes of common reverse hops),
+/// so *which request* pays for a shared probe depends on worker
+/// interleaving. With caches warm, every cacheable probe hits and the
+/// remaining probes are a pure per-request function of the simulator —
+/// the probe-count snapshots must then be identical for any worker
+/// count. Churn is disabled because its flush points depend on how
+/// virtual time partitions across workers.
+fn campaign(
+    workers: usize,
+    seed: u64,
+) -> Vec<(
+    revtr_suite::revtr::Status,
+    Vec<Addr>,
+    revtr_suite::revtr::ProbeDelta,
+)> {
+    let mut cfg = SimConfig::tiny();
+    cfg.behavior.churn_per_hour = 0.0;
+    let sim = Sim::build(cfg, seed);
+    let sys = stack(&sim);
+    let srcs: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).take(6).collect();
+    for &s in &srcs {
+        sys.register_source(s);
+    }
+    let ds = dests(&sim, srcs.len());
+    let pairs: Vec<(Addr, Addr)> = ds.into_iter().zip(srcs).collect();
+
+    for &(d, s) in &pairs {
+        let _ = sys.measure(d, s);
+    }
+
+    let slots: Vec<parking_lot_stub::Slot> = (0..pairs.len())
+        .map(|_| parking_lot_stub::Slot::new())
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (d, s) = pairs[i];
+                slots[i].set(sys.measure(d, s));
+            });
+        }
+    });
+    slots
+        .iter()
+        .map(|slot| {
+            let r = slot.get();
+            (r.status, r.addrs().collect(), r.stats.probes)
+        })
+        .collect()
+}
+
+#[test]
+fn campaign_results_are_worker_count_invariant() {
+    // The same campaign serially and with 8 workers: every request must
+    // produce the identical status, path, and probe-count snapshot
+    // (durations are wall-clock-dependent and excluded by construction).
+    let serial = campaign(1, 7);
+    let parallel = campaign(8, 7);
+    assert_eq!(serial.len(), parallel.len());
+    assert!(serial.len() >= 4, "campaign too small to be meaningful");
+    let mut probes_seen = 0;
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.0, p.0, "status diverged for request {i}");
+        assert_eq!(s.1, p.1, "path diverged for request {i}");
+        assert_eq!(s.2, p.2, "probe counts diverged for request {i}");
+        probes_seen += s.2.ping + s.2.rr + s.2.spoof_rr + s.2.ts + s.2.spoof_ts;
+    }
+    assert!(probes_seen > 0, "warm campaign sent no probes at all");
+    // And serial runs are bit-reproducible.
+    assert_eq!(serial, campaign(1, 7));
 }
 
 mod parking_lot_stub {

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 `std::thread::scope` provides the same structured-concurrency
+//! guarantee, so the shim is a thin adapter that preserves crossbeam's
+//! call shape (`scope(|s| { s.spawn(|_| ...) }).expect(...)`).
+
+// Shim crate: mirrors an external API, exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: hands each spawned closure a
+    /// scope handle so nested spawns work.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can be spawned; joins them
+    /// all before returning. Panics in child threads propagate as panics
+    /// (the `Err` arm is never produced), which matches how every caller
+    /// in this workspace consumes the result (`.expect(...)`).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_children() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("scope");
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("scope");
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

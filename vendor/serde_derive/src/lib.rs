@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the *shim* `serde::Serialize` / `serde::Deserialize`
+//! traits (a value-model design — see the sibling `serde` crate) without
+//! `syn`/`quote`, which are unavailable offline. The input item is parsed
+//! by walking raw `proc_macro::TokenTree`s; the generated impl is emitted
+//! as formatted source and re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - named-field structs, honouring `#[serde(skip)]` (omitted on
+//!   serialize, `Default::default()` on deserialize);
+//! - newtype and tuple structs (transparent / array encodings);
+//! - enums with unit variants (encoded as the variant-name string) and
+//!   newtype/tuple variants (externally tagged single-key objects).
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+// Shim crate: mirrors an external API, exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- item model ----
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Variant {
+    Unit(String),
+    /// Variant name + tuple-payload arity.
+    Tuple(String, usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<NamedField>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` not supported");
+    }
+
+    match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, body) => panic!("serde shim derive: unsupported item `{k}` body {body:?} for {name}"),
+    }
+}
+
+/// Consume leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`). Returns whether any consumed attribute was
+/// `#[serde(skip)]`.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume a type (everything up to a top-level comma), tracking
+/// angle-bracket depth so `HashMap<Addr, RouterId>` stays one type.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return fields,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        toks.next(); // trailing comma, if any
+        fields.push(NamedField { name, skip });
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut arity = 0;
+    while toks.peek().is_some() {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut toks);
+        toks.next(); // separating comma
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return variants,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                variants.push(Variant::Tuple(name, arity));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variant `{name}` not supported");
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        toks.next(); // separating comma
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{n}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n\
+             }}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n\
+                 }}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),\n", f.name)
+                    } else {
+                        format!(
+                            "{n}: ::serde::Deserialize::from_value(\
+                             ::serde::field(obj, \"{n}\", \"{name}\")?)?,\n",
+                            n = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object ({name})\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                 ::std::result::Result::Ok({name}({elems})),\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{arity}-element array ({name})\", other)),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(..) => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, 1) => Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}::{vn}({elems})),\n\
+                             other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"{arity}-element array \
+                             ({name}::{vn})\", other)),\n\
+                             }},\n",
+                            elems = elems.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 #[allow(unused_variables)] let payload = payload;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::TupleStruct { name, .. } | Item::Enum { name, .. } => {
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n}}\n"
+    )
+}
