@@ -9,6 +9,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+# Explicit gate: the fault model must stay a seed-pure no-op by default
+# (same-seed determinism + FaultConfig::default() byte-identity).
+echo "== fault determinism gate (tests/faults.rs) =="
+cargo test -q --test faults
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

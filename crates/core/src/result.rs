@@ -92,6 +92,12 @@ pub struct ProbeDelta {
     pub spoof_ts: u64,
     /// Traceroute packets.
     pub traceroute_pkts: u64,
+    /// Retry attempts (re-sends of fault-lost probes; each re-send is
+    /// also counted in its own kind above).
+    pub retries: u64,
+    /// Probes lost to injected faults (transient loss, ICMP rate limits,
+    /// spoof-filter flaps) — as opposed to genuine unresponsiveness.
+    pub lost: u64,
 }
 
 impl ProbeDelta {
@@ -104,6 +110,8 @@ impl ProbeDelta {
             ts: s.ts,
             spoof_ts: s.spoof_ts,
             traceroute_pkts: s.traceroute_pkts,
+            retries: s.retries,
+            lost: s.lost,
         }
     }
 
@@ -232,6 +240,7 @@ mod tests {
             spoof_ts: 2,
             ping: 9,
             traceroute_pkts: 11,
+            ..ProbeDelta::default()
         };
         assert_eq!(d.option_probes(), 11);
     }

@@ -21,7 +21,7 @@ use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
 use revtr_atlas::{Intersection, SourceAtlas};
 use revtr_netsim::hash::mix3;
 use revtr_netsim::{Addr, PrefixId, Sim};
-use revtr_probing::Prober;
+use revtr_probing::{ProbeLoss, Prober};
 use revtr_vpselect::{IngressDb, IngressQueue};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -40,6 +40,12 @@ pub fn extract_reverse_hops(slots: &[Addr], dst: Addr) -> Option<Vec<Addr>> {
 
 /// Ark-style adjacency dataset: address → neighbouring addresses.
 type AdjacencyDb = HashMap<Addr, Vec<Addr>>;
+
+/// How many consecutive re-batches a VP queue may hold its position when
+/// its probe is lost to a *transient* fault, before the queue advances to
+/// the next (less close) VP anyway. Bounded so rr_step always terminates
+/// even under total loss.
+const TRANSIENT_STALL_BUDGET: u32 = 2;
 
 /// The orchestrating system (Appx. A): sources, atlases, vantage points,
 /// and the measurement engine. Thread-safe; campaigns call
@@ -399,10 +405,15 @@ impl<'s> RevtrSystem<'s> {
             }
         }
 
-        // Spoofed batches from the VP plan.
+        // Spoofed batches from the VP plan. Queues can legitimately be
+        // empty (an ingress with no in-range VPs): they must be excluded
+        // up front or the batch composer below would index past the end.
         let queues = self.vp_queues(cur);
         let mut cursors: Vec<usize> = vec![0; queues.len()];
-        let mut active: Vec<usize> = (0..queues.len()).collect();
+        let mut stalls: Vec<u32> = vec![0; queues.len()];
+        let mut active: Vec<usize> = (0..queues.len())
+            .filter(|&qi| !queues[qi].vps.is_empty())
+            .collect();
         while !active.is_empty() {
             // Compose a batch: the current VP of up to `batch_size`
             // distinct queues, in order.
@@ -412,10 +423,12 @@ impl<'s> RevtrSystem<'s> {
             }
             let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, cur)).collect();
             let replies = self.prober.spoofed_rr_batch(&pairs, src);
-            stats.batches += 1;
+            // Count the collection timeouts actually charged: a fully
+            // cached batch costs no virtual time and no batch.
+            stats.batches += replies.timeouts;
 
             let mut best: Vec<Addr> = Vec::new();
-            for ((qi, _vp), reply) in batch.iter().zip(replies) {
+            for ((qi, _vp), reply) in batch.iter().zip(&replies.replies) {
                 let q = &queues[*qi];
                 let usable = reply.as_ref().and_then(|r| {
                     // The probe must have traversed the expected ingress.
@@ -436,12 +449,20 @@ impl<'s> RevtrSystem<'s> {
             if !best.is_empty() {
                 return (best, true);
             }
-            // Nothing came back: every probed queue advances to its next
-            // (less close) VP — whether it failed the ingress check, went
-            // unanswered, or answered without revealing new hops.
-            let advanced: HashSet<usize> = batch.iter().map(|&(qi, _)| qi).collect();
-            for qi in advanced {
-                cursors[qi] += 1;
+            // Nothing came back. A queue whose probe was *transiently*
+            // lost (fault-attributed, budget exhausted) keeps its current
+            // VP for a bounded number of re-batches — a close VP should
+            // not be burned because of packet loss. Every other probed
+            // queue advances to its next (less close) VP — whether it
+            // failed the ingress check, went genuinely unanswered, or
+            // answered without revealing new hops.
+            for (slot, &(qi, _)) in batch.iter().enumerate() {
+                if replies.transient[slot] && stalls[qi] < TRANSIENT_STALL_BUDGET {
+                    stalls[qi] += 1;
+                } else {
+                    cursors[qi] += 1;
+                    stalls[qi] = 0;
+                }
             }
             active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
         }
@@ -465,15 +486,19 @@ impl<'s> RevtrSystem<'s> {
         cands.retain(|a| !path_set.contains(a));
         cands.truncate(self.cfg.max_ts_adjacencies);
         for adj in cands {
-            let reply = self.prober.ts_ping(src, cur, &[cur, adj]);
-            match reply {
-                None => return None, // destination ignores TS: stop trying
-                Some(r) if r.filled >= 2 => return Some(adj),
-                Some(r) if r.filled == 1 => {
+            match self.prober.ts_ping_outcome(src, cur, &[cur, adj]) {
+                // Persistent: the destination ignores TS, stop trying.
+                Err(ProbeLoss::Unanswered) => return None,
+                // Transient: the probe was lost beyond its retry budget —
+                // that says nothing about TS support; try the next
+                // adjacency rather than writing the technique off.
+                Err(ProbeLoss::Transient) => continue,
+                Ok(r) if r.filled >= 2 => return Some(adj),
+                Ok(r) if r.filled == 1 => {
                     // The current hop stamped but the adjacency did not;
                     // retry once spoofed from the closest vantage point (the
                     // forward path may have consumed the stamp order).
-                    if let Some(&vp) = self.vps.first() {
+                    if let Some(vp) = self.closest_vp(cur) {
                         let replies = self
                             .prober
                             .spoofed_ts_batch(&[(vp, cur, vec![cur, adj])], src);
@@ -484,10 +509,39 @@ impl<'s> RevtrSystem<'s> {
                         }
                     }
                 }
-                Some(_) => {}
+                Ok(_) => {}
             }
         }
         None
+    }
+
+    /// The spoof-capable vantage point closest to `cur`, by the measured
+    /// mean RR slot distance in the ingress database (§4.3's per-prefix
+    /// views); prefixes with no measured distances fall back to the
+    /// ranked ingress plan, and unknown prefixes to the first VP.
+    fn closest_vp(&self, cur: Addr) -> Option<Addr> {
+        if let Some(pid) = self.plan_key(cur) {
+            if let Some(info) = self.ingress.prefix(pid) {
+                let best = info
+                    .views
+                    .iter()
+                    .filter_map(|(&vp, view)| view.dest_dist.map(|d| (d, vp)))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)));
+                if let Some((_, vp)) = best {
+                    return Some(vp);
+                }
+            }
+            if let Some(&vp) = self
+                .ingress
+                .ingress_plan(pid)
+                .iter()
+                .flat_map(|q| q.vps.iter())
+                .next()
+            {
+                return Some(vp);
+            }
+        }
+        self.vps.first().copied()
     }
 
     /// The symmetry step (Q5): traceroute to `cur`, take the penultimate

@@ -351,3 +351,52 @@ fn verify_dbr_mode_flags_violating_paths() {
         "verification mode found no violations at a 25% injection rate"
     );
 }
+
+#[test]
+fn empty_ingress_queues_do_not_panic_rr_step() {
+    // Regression: an `IngressDb` with no data for a prefix yields ingress
+    // queues with empty VP lists; `rr_step` used to index `vps[0]` on them
+    // and panic. The engine must degrade to the other techniques instead.
+    let f = Fixture::new(36);
+    let prober = Prober::new(&f.sim);
+    let vps: Vec<Addr> = f.sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let pool = select_atlas_probes(&f.sim, 120, 9);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = 40;
+    let sys = RevtrSystem::new(prober, cfg, vps, Arc::new(IngressDb::default()), pool);
+    let src = f.sim.topo().vp_sites[0].host;
+    for &d in &f.destinations(10) {
+        let r = sys.measure(d, src); // panicked before the fix
+        assert_eq!(r.dst, d);
+    }
+}
+
+#[test]
+fn cached_measurements_cost_no_batches() {
+    // Regression: a spoofed batch answered entirely from the measurement
+    // cache still counted (and charged) a 10 s batch timeout, so repeat
+    // measurements looked as slow as cold ones.
+    let f = Fixture::new(37);
+    let sys = f.system(EngineConfig::revtr2());
+    let src = f.sim.topo().vp_sites[0].host;
+    let d = f.destinations(1)[0];
+    let cold = sys.measure(d, src);
+    assert!(cold.complete(), "fixture destination must be measurable");
+    let warm = sys.measure(d, src);
+    assert_eq!(
+        warm.stats.batches, 0,
+        "fully cached re-measurement still counted spoofed batches"
+    );
+    // Per-probe RTTs (plain pings are uncached) may still tick, but no
+    // 10 s spoofed-batch collection timeout may be charged.
+    assert!(
+        warm.stats.duration_s < 10.0,
+        "fully cached re-measurement still charged a batch timeout: {:.1}s",
+        warm.stats.duration_s
+    );
+    assert_eq!(
+        warm.addrs().collect::<Vec<_>>(),
+        cold.addrs().collect::<Vec<_>>(),
+        "cache changed the measured path"
+    );
+}

@@ -4,12 +4,13 @@
 //! revtr-cli topology  [--era tiny|2016|2020] [--seed N]
 //! revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst A.B.C.D|auto] [--src A.B.C.D|auto]
 //! revtr-cli reproduce [--scale smoke|standard] [--out DIR]
+//! revtr-cli robustness [--scale smoke|standard] [--out DIR]
 //! ```
 
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::context::EvalScale;
-use revtr_eval::reproduce;
+use revtr_eval::{reproduce, robustness};
 use revtr_netsim::{Addr, AsTier, Sim, SimConfig};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
@@ -21,7 +22,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  revtr-cli topology  [--era tiny|2016|2020] [--seed N]\n  \
          revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst ADDR|auto] [--src ADDR|auto]\n  \
-         revtr-cli reproduce [--scale smoke|standard] [--out DIR]"
+         revtr-cli reproduce [--scale smoke|standard] [--out DIR]\n  \
+         revtr-cli robustness [--scale smoke|standard] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -206,6 +208,34 @@ fn cmd_reproduce(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_robustness(flags: &HashMap<String, String>) -> ExitCode {
+    let report = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
+        "smoke" => robustness::smoke(),
+        "standard" => robustness::standard(),
+        other => {
+            eprintln!("unknown scale {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", report.table().render());
+    println!("{}", report.figure().render());
+    if let Some(dir) = flags.get("out") {
+        let dir = std::path::Path::new(dir);
+        let saved = report
+            .table()
+            .save_tsv(dir, "robustness")
+            .and_then(|()| report.figure().save_tsv(dir, "robustness_coverage"));
+        match saved {
+            Ok(()) => eprintln!("TSVs written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("could not write TSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -218,6 +248,7 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&flags),
         "measure" => cmd_measure(&flags),
         "reproduce" => cmd_reproduce(&flags),
+        "robustness" => cmd_robustness(&flags),
         _ => usage(),
     }
 }

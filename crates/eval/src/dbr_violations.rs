@@ -100,6 +100,7 @@ fn reverse_hops_once(
         let pairs: Vec<(Addr, Addr)> = chunk.iter().map(|&vp| (vp, target)).collect();
         for reply in prober
             .spoofed_rr_batch(&pairs, claimed)
+            .replies
             .into_iter()
             .flatten()
         {

@@ -18,6 +18,7 @@ pub mod ip2as_ablation;
 pub mod render;
 pub mod reproduce;
 pub mod responsiveness;
+pub mod robustness;
 pub mod stats;
 pub mod symmetry_assumption;
 pub mod throughput;

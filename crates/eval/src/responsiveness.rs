@@ -235,7 +235,7 @@ pub fn spoofing_benefit(ctx: &EvalContext) -> SpoofingBenefit {
         // Spoofed: any VP will do; the paper's claim is about the best one.
         let best = vps.iter().take(30).any(|&vp| {
             let replies = prober.spoofed_rr_batch(&[(vp, dst)], src);
-            reveals(replies.into_iter().next().flatten())
+            reveals(replies.replies.into_iter().next().flatten())
         });
         if best {
             out.with_spoofing += 1;

@@ -114,7 +114,12 @@ fn reveal_reverse_hops(
     plan.truncate(9);
     for chunk in plan.chunks(3) {
         let pairs: Vec<(Addr, Addr)> = chunk.iter().map(|&vp| (vp, target)).collect();
-        for reply in prober.spoofed_rr_batch(&pairs, src).into_iter().flatten() {
+        for reply in prober
+            .spoofed_rr_batch(&pairs, src)
+            .replies
+            .into_iter()
+            .flatten()
+        {
             if let Some(rev) = extract_reverse_hops(&reply.slots, target) {
                 if !rev.is_empty() {
                     return rev;

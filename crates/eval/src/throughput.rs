@@ -34,6 +34,10 @@ pub struct ThroughputRun {
     /// Valley-free BFS route computations during this run (cache fills in
     /// `Sim::routes`; lookups don't count).
     pub route_computes: u64,
+    /// Retry attempts issued (non-zero only with faults injected).
+    pub retries: u64,
+    /// Probes lost to injected faults.
+    pub lost: u64,
 }
 
 impl ThroughputRun {
@@ -107,6 +111,8 @@ pub fn run(
             option_probes: d.option_probes(),
             cache,
             route_computes: ctx.sim.route_computes() - computes_before,
+            retries: d.retries,
+            lost: d.lost,
         });
     }
     ThroughputReport { runs }
@@ -127,6 +133,8 @@ impl ThroughputReport {
                 "cache hit%",
                 "cache exp",
                 "route BFS",
+                "retries",
+                "lost",
             ],
         );
         for r in &self.runs {
@@ -140,6 +148,8 @@ impl ThroughputReport {
                 format!("{:.1}", r.cache.hit_rate() * 100.0),
                 r.cache.expired.to_string(),
                 r.route_computes.to_string(),
+                r.retries.to_string(),
+                r.lost.to_string(),
             ]);
         }
         t
@@ -165,6 +175,9 @@ mod tests {
             assert!(r.per_second() > 0.0);
             // Every cache lookup is classified as a hit or a miss.
             assert!(r.cache.hits + r.cache.misses > 0);
+            // Fault-free context: the retry layer must be invisible.
+            assert_eq!(r.retries, 0);
+            assert_eq!(r.lost, 0);
         }
         // Each run uses a fresh prober/cache; within a run the workload
         // revisits sources, so the measurement cache must earn hits.

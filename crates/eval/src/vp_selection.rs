@@ -145,7 +145,7 @@ pub fn run(ctx: &EvalContext) -> VpSelectionReport {
         let mut outcomes = HashMap::new();
         for &vp in &vps {
             let replies = prober.spoofed_rr_batch(&[(vp, dest)], claimed);
-            let out = replies[0]
+            let out = replies.replies[0]
                 .as_ref()
                 .map(|r| {
                     let pos =

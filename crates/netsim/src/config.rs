@@ -6,6 +6,7 @@
 //! (the "flattened" Internet with expanded M-Lab, the paper's deployment
 //! environment, and the default).
 
+use crate::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// Shape of the generated AS-level topology.
@@ -199,6 +200,8 @@ pub struct SimConfig {
     pub topology: TopologyConfig,
     /// Behaviour rates.
     pub behavior: BehaviorConfig,
+    /// Fault-injection rates (all off by default — see [`FaultConfig`]).
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -207,6 +210,7 @@ impl SimConfig {
         SimConfig {
             topology: TopologyConfig::era_2020(),
             behavior: BehaviorConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -215,6 +219,7 @@ impl SimConfig {
         SimConfig {
             topology: TopologyConfig::era_2016(),
             behavior: BehaviorConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -223,6 +228,7 @@ impl SimConfig {
         SimConfig {
             topology: TopologyConfig::tiny(),
             behavior: BehaviorConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }

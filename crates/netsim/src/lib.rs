@@ -44,6 +44,7 @@ pub mod bgp;
 pub mod concurrent;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod gen;
 pub mod hash;
 pub mod ids;
@@ -57,6 +58,7 @@ pub use addr::{Addr, Prefix};
 pub use concurrent::{CachePadded, StripedMap};
 pub use config::{BehaviorConfig, SimConfig, TopologyConfig};
 pub use engine::{EchoReply, RrReply, TraceResult, TsReply, RR_SLOTS, TS_SLOTS};
+pub use faults::{FaultConfig, Faults};
 pub use ids::{AsId, LinkId, PrefixId, RouterId};
 pub use sim::{Dest, Sim};
 pub use topology::{AsTier, Rel, StampMode, Topology, VpSite};

@@ -10,6 +10,7 @@ use crate::behavior::Behavior;
 use crate::bgp::{self, AsRoutes};
 use crate::concurrent::StripedMap;
 use crate::config::SimConfig;
+use crate::faults::Faults;
 use crate::gen;
 use crate::hash::{chance, mix2, mix3};
 use crate::ids::{AsId, LinkId, PrefixId, RouterId};
@@ -137,6 +138,7 @@ pub struct Sim {
     topo: Topology,
     igp: Igp,
     behavior: Behavior,
+    faults: Faults,
     cfg: SimConfig,
     seed: u64,
     churn: RwLock<ChurnState>,
@@ -165,6 +167,7 @@ impl Sim {
     pub fn from_topology(topo: Topology, cfg: SimConfig, seed: u64) -> Sim {
         let igp = Igp::build(&topo);
         let behavior = Behavior::new(seed, cfg.behavior.clone());
+        let faults = Faults::new(seed, cfg.faults.clone());
         let n_prefixes = topo.prefixes.len();
         let mut addr_to_link = HashMap::new();
         for l in &topo.links {
@@ -176,6 +179,7 @@ impl Sim {
             topo,
             igp,
             behavior,
+            faults,
             cfg,
             seed,
             churn: RwLock::new(ChurnState {
@@ -213,6 +217,12 @@ impl Sim {
     #[inline]
     pub fn behavior(&self) -> &Behavior {
         &self.behavior
+    }
+
+    /// Fault oracle (probe loss, rate limiting, flaps, maintenance).
+    #[inline]
+    pub fn faults(&self) -> &Faults {
+        &self.faults
     }
 
     /// The configuration this sim was built from.
@@ -427,6 +437,13 @@ impl Sim {
         };
         let dst_key = mix2(dst_addr.0 as u64, salt);
         let routes = self.routes(target_as, salt);
+        // Link-maintenance faults: read virtual time once per walk (the
+        // gate keeps fault-free sims off the churn lock entirely).
+        let maint_now = if self.faults.links_enabled() {
+            Some(self.now_hours())
+        } else {
+            None
+        };
 
         let mut hops: Vec<Hop> = Vec::new();
         let mut latency = 0.0;
@@ -438,6 +455,11 @@ impl Sim {
             if cur == final_router {
                 // Deliver: to the local host, across `via`, or to self.
                 if let Some(v) = via {
+                    if let Some(now) = maint_now {
+                        if self.faults.link_down(v, now) {
+                            return None; // final link under maintenance
+                        }
+                    }
                     let l = self.topo.link(v);
                     hops.push(Hop {
                         router: cur,
@@ -523,6 +545,11 @@ impl Sim {
                 }
             };
 
+            if let Some(now) = maint_now {
+                if self.faults.link_down(next_link, now) {
+                    return None; // packet silently dropped on a down link
+                }
+            }
             let l = self.topo.link(next_link);
             hops.push(Hop {
                 router: cur,
@@ -541,6 +568,16 @@ impl Sim {
         match self.resolve_dest(host)? {
             Dest::Host { attach, .. } => Some(attach),
             Dest::Router { .. } => None,
+        }
+    }
+
+    /// The router that generates ICMP replies for probes addressed to
+    /// `dst`: the owning router for infrastructure addresses, `None` for
+    /// host destinations (end hosts are not ICMP-rate-limited routers).
+    pub fn responder_router(&self, dst: Addr) -> Option<RouterId> {
+        match self.resolve_dest(dst)? {
+            Dest::Router { router, .. } => Some(router),
+            Dest::Host { .. } => None,
         }
     }
 

@@ -38,9 +38,15 @@ pub enum ProbeKind {
     /// RR pings issued for the background RR-atlas (§4.2), kept separate so
     /// online vs offline overhead can be reported (paper: 1M of 127M).
     AtlasRr,
+    /// Retry attempts (meta-counter: the probe itself is also counted in
+    /// its own kind; this tracks how many sends were re-sends).
+    Retries,
+    /// Probes lost to injected faults (meta-counter: transient loss, ICMP
+    /// rate limiting, or spoof-filter flaps — not genuine unresponsiveness).
+    Lost,
 }
 
-const N_KINDS: usize = 8;
+const N_KINDS: usize = 10;
 
 impl ProbeKind {
     fn index(self) -> usize {
@@ -53,6 +59,8 @@ impl ProbeKind {
             ProbeKind::TraceroutePkts => 5,
             ProbeKind::Traceroutes => 6,
             ProbeKind::AtlasRr => 7,
+            ProbeKind::Retries => 8,
+            ProbeKind::Lost => 9,
         }
     }
 }
@@ -93,6 +101,11 @@ pub struct Snapshot {
     pub traceroutes: u64,
     /// Background RR-atlas pings.
     pub atlas_rr: u64,
+    /// Retry attempts (meta-counter; each retried send is also counted in
+    /// its own kind above).
+    pub retries: u64,
+    /// Fault-attributed losses (meta-counter; see [`ProbeKind::Lost`]).
+    pub lost: u64,
 }
 
 impl Snapshot {
@@ -106,6 +119,8 @@ impl Snapshot {
             traceroute_pkts: v[5],
             traceroutes: v[6],
             atlas_rr: v[7],
+            retries: v[8],
+            lost: v[9],
         }
     }
 
@@ -115,7 +130,9 @@ impl Snapshot {
         self.rr + self.spoof_rr + self.ts + self.spoof_ts
     }
 
-    /// All packets of any kind.
+    /// All packets of any kind. Retries are already folded into their own
+    /// kind's count and `lost` marks packets counted elsewhere, so the
+    /// meta-counters are deliberately excluded here.
     pub fn all_packets(&self) -> u64 {
         self.option_probes() + self.ping + self.traceroute_pkts + self.atlas_rr
     }
@@ -131,6 +148,8 @@ impl Snapshot {
             traceroute_pkts: self.traceroute_pkts - earlier.traceroute_pkts,
             traceroutes: self.traceroutes - earlier.traceroutes,
             atlas_rr: self.atlas_rr - earlier.atlas_rr,
+            retries: self.retries - earlier.retries,
+            lost: self.lost - earlier.lost,
         }
     }
 
@@ -145,6 +164,8 @@ impl Snapshot {
             traceroute_pkts: self.traceroute_pkts + other.traceroute_pkts,
             traceroutes: self.traceroutes + other.traceroutes,
             atlas_rr: self.atlas_rr + other.atlas_rr,
+            retries: self.retries + other.retries,
+            lost: self.lost + other.lost,
         }
     }
 }

@@ -34,4 +34,6 @@ pub mod prober;
 pub use cache::{CacheStats, MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
 pub use clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
 pub use counters::{Counters, ProbeKind, Snapshot};
-pub use prober::{Prober, PROBE_TIMEOUT_MS, TRACEROUTE_TIMEOUT_MS};
+pub use prober::{
+    BatchReply, ProbeLoss, Prober, RetryPolicy, PROBE_TIMEOUT_MS, TRACEROUTE_TIMEOUT_MS,
+};

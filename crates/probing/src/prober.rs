@@ -1,8 +1,20 @@
 //! The prober: issue probes against the simulated Internet with accounting,
-//! virtual latency, and optional measurement reuse.
+//! virtual latency, optional measurement reuse, and bounded retries.
 //!
 //! A [`Prober`] is cheap to clone and thread-safe; campaign code clones one
 //! per worker so counters/clock/cache are shared.
+//!
+//! # Faults and retries
+//!
+//! When the sim's [`revtr_netsim::FaultConfig`] enables faults, individual
+//! probe attempts can be lost (transient loss, ICMP rate limiting, VP
+//! spoof-filter flaps). The prober re-sends fault-lost attempts up to the
+//! per-kind budgets of its [`RetryPolicy`], charging virtual backoff
+//! between attempts and counting every re-send in
+//! [`ProbeKind::Retries`] / every fault loss in [`ProbeKind::Lost`].
+//! Genuine unresponsiveness is deterministic in-sim, so it is *not*
+//! retried: budgets are spent only where a real retry could help, and a
+//! fault-free sim behaves bit-identically whatever the budgets are.
 
 use crate::cache::{MeasurementCache, RrKey};
 use crate::clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
@@ -17,6 +29,79 @@ pub const PROBE_TIMEOUT_MS: f64 = 2_000.0;
 /// Timeout charged for a traceroute that never completes (virtual ms).
 pub const TRACEROUTE_TIMEOUT_MS: f64 = 5_000.0;
 
+/// Per-kind retry budgets and backoff. An *attempt budget* of `n` means
+/// one initial send plus up to `n - 1` re-sends of fault-lost attempts;
+/// the default budgets (all 1) disable retrying entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempt budget for plain pings.
+    pub ping_attempts: u32,
+    /// Attempt budget for non-spoofed RR pings (and atlas RR pings).
+    pub rr_attempts: u32,
+    /// Attempt budget for TS-prespec pings.
+    pub ts_attempts: u32,
+    /// Attempt budget for whole traceroutes.
+    pub traceroute_attempts: u32,
+    /// Rounds a spoofed batch re-collects its fault-lost pairs (each
+    /// round costs one batch collection timeout).
+    pub batch_attempts: u32,
+    /// Virtual backoff before re-send number `k` (charged as
+    /// `k · backoff_ms`; linear, bounded by the attempt budget).
+    pub backoff_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ping_attempts: 1,
+            rr_attempts: 1,
+            ts_attempts: 1,
+            traceroute_attempts: 1,
+            batch_attempts: 1,
+            backoff_ms: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The same attempt budget for every probe kind, no backoff.
+    pub fn uniform(attempts: u32) -> RetryPolicy {
+        let a = attempts.max(1);
+        RetryPolicy {
+            ping_attempts: a,
+            rr_attempts: a,
+            ts_attempts: a,
+            traceroute_attempts: a,
+            batch_attempts: a,
+            backoff_ms: 0.0,
+        }
+    }
+}
+
+/// Why a probe produced no reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeLoss {
+    /// The destination genuinely did not answer (deterministic in-sim;
+    /// retrying cannot help).
+    Unanswered,
+    /// Every attempt in the budget was lost to injected faults; a larger
+    /// budget (or later retry) might still succeed.
+    Transient,
+}
+
+/// Result of a spoofed RR batch, with per-pair fault attribution.
+#[derive(Clone, Debug)]
+pub struct BatchReply {
+    /// Per-pair replies, in input order (`None` = no reply).
+    pub replies: Vec<Option<RrReply>>,
+    /// `transient[i]` is true when pair `i`'s misses were fault losses
+    /// (its retry budget ran out) rather than genuine unresponsiveness.
+    pub transient: Vec<bool>,
+    /// Collection timeouts actually charged (0 for an empty or fully
+    /// cached batch; > 1 when fault-lost pairs were re-collected).
+    pub timeouts: u32,
+}
+
 /// Probe issuance facade.
 #[derive(Clone)]
 pub struct Prober<'s> {
@@ -25,11 +110,12 @@ pub struct Prober<'s> {
     clock: Arc<Clock>,
     cache: Arc<MeasurementCache>,
     use_cache: bool,
+    retry: RetryPolicy,
     nonce: Arc<AtomicU64>,
 }
 
 impl<'s> Prober<'s> {
-    /// New prober with fresh shared state and caching enabled.
+    /// New prober with fresh shared state, caching enabled, no retries.
     pub fn new(sim: &'s Sim) -> Prober<'s> {
         Prober {
             sim,
@@ -37,6 +123,7 @@ impl<'s> Prober<'s> {
             clock: Arc::new(Clock::new()),
             cache: Arc::new(MeasurementCache::new()),
             use_cache: true,
+            retry: RetryPolicy::default(),
             nonce: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -46,6 +133,13 @@ impl<'s> Prober<'s> {
     pub fn with_cache_enabled(&self, enabled: bool) -> Prober<'s> {
         let mut p = self.clone();
         p.use_cache = enabled;
+        p
+    }
+
+    /// Same shared state, with a different retry policy.
+    pub fn with_retry_policy(&self, retry: RetryPolicy) -> Prober<'s> {
+        let mut p = self.clone();
+        p.retry = retry;
         p
     }
 
@@ -69,6 +163,11 @@ impl<'s> Prober<'s> {
         &self.cache
     }
 
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     fn next_nonce(&self) -> u64 {
         self.nonce.fetch_add(1, Ordering::Relaxed)
     }
@@ -80,21 +179,73 @@ impl<'s> Prober<'s> {
         }
     }
 
+    /// Draw the fault fate of one probe attempt toward `dst` (spoofed
+    /// attempts also pass the sending VP for the flap check). Consumes a
+    /// nonce — and takes any lock — only when faults are active, so
+    /// fault-free runs stay bit-identical to pre-fault builds.
+    fn fault_lost(&self, spoof_vp: Option<Addr>, dst: Addr) -> bool {
+        let faults = self.sim.faults();
+        if !faults.any_enabled() {
+            return false;
+        }
+        if faults.probe_lost(self.next_nonce()) {
+            return true;
+        }
+        if let Some(vp) = spoof_vp {
+            if faults.vp_spoof_flapped(vp, self.sim.now_hours()) {
+                return true;
+            }
+        }
+        match self.sim.responder_router(dst) {
+            Some(r) => !faults.icmp_allowed(r, self.clock.now_ms()),
+            None => false,
+        }
+    }
+
+    /// Charge backoff before re-send number `attempt` (1-based) and count
+    /// the retry.
+    fn charge_retry(&self, attempt: u32) {
+        self.counters.bump(ProbeKind::Retries);
+        if self.retry.backoff_ms > 0.0 {
+            self.clock
+                .advance(self.retry.backoff_ms * attempt as f64, self.sim);
+        }
+    }
+
     // ---- pings ------------------------------------------------------------
 
-    /// Plain ping.
+    /// Plain ping, retrying fault-lost attempts within budget.
     pub fn ping(&self, src: Addr, dst: Addr) -> Option<EchoReply> {
-        self.counters.bump(ProbeKind::Ping);
-        let r = self.sim.ping(src, dst);
-        self.charge(r.as_ref().map(|x| x.rtt_ms));
-        r
+        for attempt in 0..self.retry.ping_attempts.max(1) {
+            if attempt > 0 {
+                self.charge_retry(attempt);
+            }
+            self.counters.bump(ProbeKind::Ping);
+            if self.fault_lost(None, dst) {
+                self.counters.bump(ProbeKind::Lost);
+                self.charge(None);
+                continue;
+            }
+            let r = self.sim.ping(src, dst);
+            self.charge(r.as_ref().map(|x| x.rtt_ms));
+            return r;
+        }
+        None
     }
 
     // ---- record route -------------------------------------------------------
 
     /// Non-spoofed RR ping from `src`, reusing a fresh cached result when
-    /// caching is enabled.
+    /// caching is enabled. Collapses [`Prober::rr_ping_outcome`]'s loss
+    /// attribution.
     pub fn rr_ping(&self, src: Addr, dst: Addr) -> Option<RrReply> {
+        self.rr_ping_outcome(src, dst).ok()
+    }
+
+    /// Non-spoofed RR ping distinguishing *why* it failed: genuinely
+    /// unanswered (persistent) vs fault-lost beyond the retry budget
+    /// (transient).
+    pub fn rr_ping_outcome(&self, src: Addr, dst: Addr) -> Result<RrReply, ProbeLoss> {
         let key = RrKey {
             sender: src,
             claimed: src,
@@ -102,37 +253,69 @@ impl<'s> Prober<'s> {
         };
         if self.use_cache {
             if let Some(hit) = self.cache.get_rr(self.sim, key) {
-                return hit;
+                return hit.ok_or(ProbeLoss::Unanswered);
             }
         }
-        self.counters.bump(ProbeKind::Rr);
-        let r = self.sim.rr_ping(src, dst, self.next_nonce());
-        self.charge(r.as_ref().map(|x| x.rtt_ms));
-        self.cache.put_rr(self.sim, key, r.clone());
-        r
+        for attempt in 0..self.retry.rr_attempts.max(1) {
+            if attempt > 0 {
+                self.charge_retry(attempt);
+            }
+            self.counters.bump(ProbeKind::Rr);
+            if self.fault_lost(None, dst) {
+                self.counters.bump(ProbeKind::Lost);
+                self.charge(None);
+                continue;
+            }
+            let r = self.sim.rr_ping(src, dst, self.next_nonce());
+            self.charge(r.as_ref().map(|x| x.rtt_ms));
+            if self.use_cache {
+                // Cache only genuine outcomes; fault losses above are
+                // transient and must not be negative-cached.
+                self.cache.put_rr(self.sim, key, r.clone());
+            }
+            return r.ok_or(ProbeLoss::Unanswered);
+        }
+        Err(ProbeLoss::Transient)
     }
 
     /// RR ping issued for the background RR-atlas (§4.2): identical
     /// semantics, separate accounting (offline budget).
     pub fn atlas_rr_ping(&self, sender: Addr, claimed: Addr, dst: Addr) -> Option<RrReply> {
-        self.counters.bump(ProbeKind::AtlasRr);
-        let r = self
-            .sim
-            .rr_ping_from(sender, claimed, dst, self.next_nonce());
-        self.charge(r.as_ref().map(|x| x.rtt_ms));
-        r
+        let spoofed = sender != claimed;
+        for attempt in 0..self.retry.rr_attempts.max(1) {
+            if attempt > 0 {
+                self.charge_retry(attempt);
+            }
+            self.counters.bump(ProbeKind::AtlasRr);
+            if self.fault_lost(spoofed.then_some(sender), dst) {
+                self.counters.bump(ProbeKind::Lost);
+                self.charge(None);
+                continue;
+            }
+            let r = self
+                .sim
+                .rr_ping_from(sender, claimed, dst, self.next_nonce());
+            self.charge(r.as_ref().map(|x| x.rtt_ms));
+            return r;
+        }
+        None
     }
 
     /// A batch of spoofed RR pings, all claiming source `claimed`, one per
-    /// `(vantage point, destination)` pair. The whole batch costs one
-    /// 10-second collection timeout of virtual time (§5.2.4), which is what
-    /// makes batch count the dominant latency factor (Fig. 5c).
-    pub fn spoofed_rr_batch(&self, pairs: &[(Addr, Addr)], claimed: Addr) -> Vec<Option<RrReply>> {
-        if pairs.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(pairs.len());
-        for &(vp, dst) in pairs {
+    /// `(vantage point, destination)` pair. Each *collection round* costs
+    /// one 10-second timeout of virtual time (§5.2.4), which is what makes
+    /// batch count the dominant latency factor (Fig. 5c); fault-lost pairs
+    /// are re-collected for up to [`RetryPolicy::batch_attempts`] rounds.
+    /// An empty or fully cached batch costs nothing.
+    pub fn spoofed_rr_batch(&self, pairs: &[(Addr, Addr)], claimed: Addr) -> BatchReply {
+        let n = pairs.len();
+        let mut out = BatchReply {
+            replies: vec![None; n],
+            transient: vec![false; n],
+            timeouts: 0,
+        };
+        let mut pending: Vec<usize> = Vec::with_capacity(n);
+        for (i, &(vp, dst)) in pairs.iter().enumerate() {
             let key = RrKey {
                 sender: vp,
                 claimed,
@@ -140,32 +323,86 @@ impl<'s> Prober<'s> {
             };
             if self.use_cache {
                 if let Some(hit) = self.cache.get_rr(self.sim, key) {
-                    out.push(hit);
+                    out.replies[i] = hit;
                     continue;
                 }
             }
-            self.counters.bump(ProbeKind::SpoofRr);
-            let r = self.sim.rr_ping_from(vp, claimed, dst, self.next_nonce());
-            self.cache.put_rr(self.sim, key, r.clone());
-            out.push(r);
+            pending.push(i);
         }
-        self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
+        for round in 0..self.retry.batch_attempts.max(1) {
+            if pending.is_empty() {
+                break;
+            }
+            if round > 0 {
+                self.counters.add(ProbeKind::Retries, pending.len() as u64);
+            }
+            let mut still_pending = Vec::new();
+            for &i in &pending {
+                let (vp, dst) = pairs[i];
+                self.counters.bump(ProbeKind::SpoofRr);
+                if self.fault_lost(Some(vp), dst) {
+                    self.counters.bump(ProbeKind::Lost);
+                    out.transient[i] = true;
+                    still_pending.push(i);
+                    continue;
+                }
+                let r = self.sim.rr_ping_from(vp, claimed, dst, self.next_nonce());
+                if self.use_cache {
+                    let key = RrKey {
+                        sender: vp,
+                        claimed,
+                        dst,
+                    };
+                    self.cache.put_rr(self.sim, key, r.clone());
+                }
+                out.replies[i] = r;
+                out.transient[i] = false;
+            }
+            out.timeouts += 1;
+            self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
+            pending = still_pending;
+        }
         out
     }
 
     // ---- timestamp -------------------------------------------------------------
 
-    /// Non-spoofed TS-prespec ping.
+    /// Non-spoofed TS-prespec ping. Collapses
+    /// [`Prober::ts_ping_outcome`]'s loss attribution.
     pub fn ts_ping(&self, src: Addr, dst: Addr, prespec: &[Addr]) -> Option<TsReply> {
-        self.counters.bump(ProbeKind::Ts);
-        let r = self
-            .sim
-            .ts_ping_from(src, src, dst, prespec, self.next_nonce());
-        self.charge(r.as_ref().map(|x| x.rtt_ms));
-        r
+        self.ts_ping_outcome(src, dst, prespec).ok()
     }
 
-    /// A batch of spoofed TS pings (one collection timeout for the batch).
+    /// Non-spoofed TS-prespec ping distinguishing persistent from
+    /// transient (fault-budget-exhausted) failure.
+    pub fn ts_ping_outcome(
+        &self,
+        src: Addr,
+        dst: Addr,
+        prespec: &[Addr],
+    ) -> Result<TsReply, ProbeLoss> {
+        for attempt in 0..self.retry.ts_attempts.max(1) {
+            if attempt > 0 {
+                self.charge_retry(attempt);
+            }
+            self.counters.bump(ProbeKind::Ts);
+            if self.fault_lost(None, dst) {
+                self.counters.bump(ProbeKind::Lost);
+                self.charge(None);
+                continue;
+            }
+            let r = self
+                .sim
+                .ts_ping_from(src, src, dst, prespec, self.next_nonce());
+            self.charge(r.as_ref().map(|x| x.rtt_ms));
+            return r.ok_or(ProbeLoss::Unanswered);
+        }
+        Err(ProbeLoss::Transient)
+    }
+
+    /// A batch of spoofed TS pings (one collection timeout per round, as
+    /// for [`Prober::spoofed_rr_batch`]; fault-lost probes re-collect
+    /// within [`RetryPolicy::batch_attempts`]).
     pub fn spoofed_ts_batch(
         &self,
         probes: &[(Addr, Addr, Vec<Addr>)],
@@ -174,15 +411,32 @@ impl<'s> Prober<'s> {
         if probes.is_empty() {
             return Vec::new();
         }
-        let mut out = Vec::with_capacity(probes.len());
-        for (vp, dst, prespec) in probes {
-            self.counters.bump(ProbeKind::SpoofTs);
-            out.push(
-                self.sim
-                    .ts_ping_from(*vp, claimed, *dst, prespec, self.next_nonce()),
-            );
+        let n = probes.len();
+        let mut out: Vec<Option<TsReply>> = vec![None; n];
+        let mut pending: Vec<usize> = (0..n).collect();
+        for round in 0..self.retry.batch_attempts.max(1) {
+            if pending.is_empty() {
+                break;
+            }
+            if round > 0 {
+                self.counters.add(ProbeKind::Retries, pending.len() as u64);
+            }
+            let mut still_pending = Vec::new();
+            for &i in &pending {
+                let (vp, dst, prespec) = &probes[i];
+                self.counters.bump(ProbeKind::SpoofTs);
+                if self.fault_lost(Some(*vp), *dst) {
+                    self.counters.bump(ProbeKind::Lost);
+                    still_pending.push(i);
+                    continue;
+                }
+                out[i] = self
+                    .sim
+                    .ts_ping_from(*vp, claimed, *dst, prespec, self.next_nonce());
+            }
+            self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
+            pending = still_pending;
         }
-        self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
         out
     }
 
@@ -195,26 +449,40 @@ impl<'s> Prober<'s> {
                 return hit;
             }
         }
-        let r = self.traceroute_fresh(src, dst);
-        self.cache.put_traceroute(self.sim, src, dst, r.clone());
-        r
+        self.traceroute_fresh(src, dst)
     }
 
-    /// Traceroute bypassing the cache (but still recording into it).
+    /// Traceroute bypassing the cache. Unlike the RR paths above, this
+    /// *intentionally* writes through to the cache even on a
+    /// cache-disabled prober: `traceroute_fresh` is the atlas-refresh
+    /// primitive, and a forced refresh must update the shared cache or
+    /// every subsequent cached read would serve the stale trace it was
+    /// called to replace.
     pub fn traceroute_fresh(&self, src: Addr, dst: Addr) -> Option<TraceResult> {
         let flow = (revtr_netsim::hash::mix2(src.0 as u64, dst.0 as u64) & 0xFFFF) as u16;
-        let r = self.sim.traceroute(src, dst, flow);
-        self.counters.bump(ProbeKind::Traceroutes);
-        match &r {
-            Some(t) => {
-                self.counters
-                    .add(ProbeKind::TraceroutePkts, t.hops.len() as u64);
-                self.clock.advance(t.rtt_ms, self.sim);
+        for attempt in 0..self.retry.traceroute_attempts.max(1) {
+            if attempt > 0 {
+                self.charge_retry(attempt);
             }
-            None => self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim),
+            self.counters.bump(ProbeKind::Traceroutes);
+            if self.fault_lost(None, dst) {
+                self.counters.bump(ProbeKind::Lost);
+                self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim);
+                continue;
+            }
+            let r = self.sim.traceroute(src, dst, flow);
+            match &r {
+                Some(t) => {
+                    self.counters
+                        .add(ProbeKind::TraceroutePkts, t.hops.len() as u64);
+                    self.clock.advance(t.rtt_ms, self.sim);
+                }
+                None => self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim),
+            }
+            self.cache.put_traceroute(self.sim, src, dst, r.clone());
+            return r;
         }
-        self.cache.put_traceroute(self.sim, src, dst, r.clone());
-        r
+        None
     }
 }
 
@@ -244,6 +512,8 @@ mod tests {
         assert_eq!(snap.spoof_rr, 2);
         assert_eq!(snap.traceroutes, 1);
         assert!(snap.traceroute_pkts >= 2);
+        assert_eq!(snap.retries, 0, "no faults, no retries");
+        assert_eq!(snap.lost, 0);
     }
 
     #[test]
@@ -266,6 +536,28 @@ mod tests {
     }
 
     #[test]
+    fn cache_disabled_prober_does_not_write_cache() {
+        // Regression: a cache-ablation prober used to *write* its results
+        // into the shared cache, so the supposedly cache-less run warmed
+        // the cache for everyone else and skewed the Table 4 ablation.
+        let s = sim();
+        let p = Prober::new(&s);
+        let ablated = p.with_cache_enabled(false);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let vp2 = s.topo().vp_sites[2].host;
+        ablated.rr_ping(vp0, vp1);
+        ablated.spoofed_rr_batch(&[(vp1, vp2)], vp0);
+        // The caching prober must still have to send fresh probes.
+        let before = p.counters().snapshot();
+        p.rr_ping(vp0, vp1);
+        p.spoofed_rr_batch(&[(vp1, vp2)], vp0);
+        let d = p.counters().snapshot().since(&before);
+        assert_eq!(d.rr, 1, "ablated prober leaked an rr cache entry");
+        assert_eq!(d.spoof_rr, 1, "ablated prober leaked a spoofed entry");
+    }
+
+    #[test]
     fn batch_charges_one_timeout() {
         let s = sim();
         let p = Prober::new(&s);
@@ -273,13 +565,39 @@ mod tests {
         let vp1 = s.topo().vp_sites[1].host;
         let vp2 = s.topo().vp_sites[2].host;
         let t0 = p.clock().now_ms();
-        p.spoofed_rr_batch(&[(vp1, vp2), (vp2, vp1)], vp0);
+        let b = p.spoofed_rr_batch(&[(vp1, vp2), (vp2, vp1)], vp0);
         let dt = p.clock().now_ms() - t0;
+        assert_eq!(b.timeouts, 1);
         assert!((dt - SPOOF_BATCH_TIMEOUT_MS).abs() < 1e-9);
         // Empty batch is free.
         let t1 = p.clock().now_ms();
-        p.spoofed_rr_batch(&[], vp0);
+        let b = p.spoofed_rr_batch(&[], vp0);
+        assert_eq!(b.timeouts, 0);
         assert_eq!(p.clock().now_ms(), t1);
+    }
+
+    #[test]
+    fn fully_cached_batch_is_free() {
+        // Regression: a batch answered entirely from cache used to charge
+        // the full 10 s collection timeout anyway.
+        let s = sim();
+        let p = Prober::new(&s);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let vp2 = s.topo().vp_sites[2].host;
+        let pairs = [(vp1, vp2), (vp2, vp1)];
+        let first = p.spoofed_rr_batch(&pairs, vp0);
+        let t0 = p.clock().now_ms();
+        let before = p.counters().snapshot();
+        let second = p.spoofed_rr_batch(&pairs, vp0);
+        assert_eq!(second.timeouts, 0, "fully cached batch must cost 0");
+        assert_eq!(p.clock().now_ms(), t0, "no virtual time may pass");
+        assert_eq!(
+            p.counters().snapshot().since(&before).spoof_rr,
+            0,
+            "no probes re-sent"
+        );
+        assert_eq!(first.replies, second.replies);
     }
 
     #[test]
@@ -300,6 +618,77 @@ mod tests {
         let vp1 = s.topo().vp_sites[1].host;
         let t = p.traceroute_fresh(vp0, vp1).expect("VPs reachable");
         assert_eq!(p.counters().snapshot().traceroute_pkts, t.hops.len() as u64);
+    }
+
+    #[test]
+    fn retries_recover_lossy_probes() {
+        let mut cfg = SimConfig::tiny();
+        cfg.faults.probe_loss = 0.4;
+        let s = Sim::build(cfg, 23);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        // Without retries some rr_pings to a responsive VP host are lost…
+        let p0 = Prober::new(&s).with_cache_enabled(false);
+        let lost_once = (0..40).filter(|_| p0.rr_ping(vp0, vp1).is_none()).count();
+        assert!(lost_once > 0, "loss rate 0.4 lost nothing in 40 probes");
+        assert!(p0.counters().snapshot().lost > 0);
+        // …while a generous budget recovers (virtually) all of them.
+        let p6 = p0.with_retry_policy(RetryPolicy::uniform(6));
+        let lost_retried = (0..40).filter(|_| p6.rr_ping(vp0, vp1).is_none()).count();
+        assert!(
+            lost_retried < lost_once,
+            "budget 6 ({lost_retried} lost) must beat budget 1 ({lost_once} lost)"
+        );
+        assert!(p6.counters().snapshot().retries > 0);
+    }
+
+    #[test]
+    fn outcome_distinguishes_transient_from_unanswered() {
+        let mut cfg = SimConfig::tiny();
+        cfg.faults.probe_loss = 1.0; // every attempt lost
+        let s = Sim::build(cfg, 24);
+        let p = Prober::new(&s).with_cache_enabled(false);
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        assert_eq!(
+            p.rr_ping_outcome(vp0, vp1),
+            Err(ProbeLoss::Transient),
+            "total loss must be attributed to faults"
+        );
+        // A genuinely unresponsive destination is persistent even with a
+        // fault-free sim and retry budget to spare.
+        let s2 = sim();
+        let p2 = Prober::new(&s2).with_retry_policy(RetryPolicy::uniform(4));
+        let vp = s2.topo().vp_sites[0].host;
+        let before = p2.counters().snapshot();
+        assert_eq!(
+            p2.rr_ping_outcome(vp, Addr::new(10, 9, 9, 9)),
+            Err(ProbeLoss::Unanswered)
+        );
+        let d = p2.counters().snapshot().since(&before);
+        assert_eq!(d.rr, 1, "deterministic non-answers are not retried");
+        assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn batch_retry_rounds_charge_per_round() {
+        let mut cfg = SimConfig::tiny();
+        cfg.faults.probe_loss = 1.0;
+        let s = Sim::build(cfg, 25);
+        let p = Prober::new(&s).with_retry_policy(RetryPolicy::uniform(3));
+        let vp0 = s.topo().vp_sites[0].host;
+        let vp1 = s.topo().vp_sites[1].host;
+        let vp2 = s.topo().vp_sites[2].host;
+        let t0 = p.clock().now_ms();
+        let b = p.spoofed_rr_batch(&[(vp1, vp2)], vp0);
+        assert_eq!(b.timeouts, 3, "every round re-collects the lost pair");
+        assert!((p.clock().now_ms() - t0 - 3.0 * SPOOF_BATCH_TIMEOUT_MS).abs() < 1e-9);
+        assert!(b.replies[0].is_none());
+        assert!(b.transient[0], "loss must be attributed as transient");
+        let snap = p.counters().snapshot();
+        assert_eq!(snap.spoof_rr, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.lost, 3);
     }
 }
 

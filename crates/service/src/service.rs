@@ -8,7 +8,7 @@ use crate::users::{ApiKey, RateLimits, UserDb, UserError};
 use revtr::{RevtrResult, RevtrSystem};
 use revtr_netsim::{Addr, TraceResult};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Per-request tuning options (Appx. A: "the user can specify options to
 /// tune the request, such as how stale traceroutes are allowed to be and
@@ -44,6 +44,9 @@ pub enum ServiceError {
     SourceBootstrapFailed,
     /// System overloaded (NDT-triggered measurements are best-effort).
     Overloaded,
+    /// A batch-campaign worker panicked; the campaign's results were
+    /// discarded but the service itself remains usable.
+    WorkerPanicked,
 }
 
 impl From<UserError> for ServiceError {
@@ -60,11 +63,33 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "source cannot receive record route packets")
             }
             ServiceError::Overloaded => write!(f, "system overloaded"),
+            ServiceError::WorkerPanicked => write!(f, "batch campaign worker panicked"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// RAII permit for one in-flight NDT measurement: acquired against a cap,
+/// released on drop — including the unwind path, so a panicking
+/// measurement cannot leak its slot and permanently shrink the cap.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl<'a> InFlightGuard<'a> {
+    fn acquire(counter: &'a AtomicUsize, cap: usize) -> Option<InFlightGuard<'a>> {
+        if counter.fetch_add(1, Ordering::SeqCst) >= cap {
+            counter.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(InFlightGuard(counter))
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// The service façade over a [`RevtrSystem`].
 pub struct RevtrService<'s> {
@@ -91,6 +116,12 @@ impl<'s> RevtrService<'s> {
     /// The underlying measurement system.
     pub fn system(&self) -> &RevtrSystem<'s> {
         &self.system
+    }
+
+    /// Same service with a different NDT concurrency cap (testing knob).
+    pub fn with_ndt_cap(mut self, cap: usize) -> RevtrService<'s> {
+        self.ndt_load_cap = cap;
+        self
     }
 
     /// The result archive.
@@ -186,27 +217,46 @@ impl<'s> RevtrService<'s> {
         }
         let workers = workers.max(1).min(pairs.len().max(1));
         let next = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
         // Workers stream `(index, result)` over a channel instead of writing
         // into per-slot mutexes: sends are lock-free on the hot path and the
-        // collector re-orders into input order at the end.
+        // collector re-orders into input order at the end. Each measurement
+        // runs under `catch_unwind` so one panicking worker surfaces as a
+        // `ServiceError` instead of unwinding through the scope and taking
+        // the whole service (and its caller) down with it.
         let (tx, rx) = std::sync::mpsc::channel::<(usize, RevtrResult)>();
-        crossbeam::thread::scope(|s| {
+        let run = crossbeam::thread::scope(|s| {
             let next = &next;
+            let panicked = &panicked;
             for _ in 0..workers {
                 let tx = tx.clone();
                 s.spawn(move |_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= pairs.len() {
+                    if i >= pairs.len() || panicked.load(Ordering::Relaxed) {
                         break;
                     }
                     let (dst, src) = pairs[i];
-                    let r = self.system.measure(dst, src);
-                    tx.send((i, r)).expect("batch collector alive");
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.system.measure(dst, src)
+                    })) {
+                        Ok(r) => {
+                            if tx.send((i, r)).is_err() {
+                                break; // collector gone: campaign is over
+                            }
+                        }
+                        Err(_) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 });
             }
-        })
-        .expect("campaign worker panicked");
+        });
+        debug_assert!(run.is_ok(), "workers catch their own panics");
         drop(tx);
+        if panicked.load(Ordering::Relaxed) {
+            return Err(ServiceError::WorkerPanicked);
+        }
         let mut slots: Vec<Option<RevtrResult>> = (0..pairs.len()).map(|_| None).collect();
         for (i, r) in rx {
             slots[i] = Some(r);
@@ -225,15 +275,37 @@ impl<'s> RevtrService<'s> {
     /// M-Lab server, complement the forward traceroute with a reverse one —
     /// accepted or rejected based on system load.
     pub fn on_ndt_test(&self, client: Addr, server: Addr) -> Result<RevtrResult, ServiceError> {
-        let cur = self.ndt_in_flight.fetch_add(1, Ordering::SeqCst);
-        if cur >= self.ndt_load_cap {
-            self.ndt_in_flight.fetch_sub(1, Ordering::SeqCst);
-            return Err(ServiceError::Overloaded);
-        }
+        // RAII slot: released on every exit path, including a panicking
+        // `measure` — a leaked slot would permanently shrink the cap.
+        let _slot = InFlightGuard::acquire(&self.ndt_in_flight, self.ndt_load_cap)
+            .ok_or(ServiceError::Overloaded)?;
         self.system.register_source(server);
         let r = self.system.measure(client, server);
-        self.ndt_in_flight.fetch_sub(1, Ordering::SeqCst);
         self.store.push(&r);
         Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_guard_enforces_cap_and_survives_panics() {
+        let counter = AtomicUsize::new(0);
+        let a = InFlightGuard::acquire(&counter, 2).expect("slot 1");
+        let _b = InFlightGuard::acquire(&counter, 2).expect("slot 2");
+        assert!(InFlightGuard::acquire(&counter, 2).is_none(), "cap hit");
+        drop(a);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+
+        // Regression: a panic while holding the slot must still release it
+        // (the old fetch_add/fetch_sub pairing leaked it permanently).
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = InFlightGuard::acquire(&counter, 2).expect("slot");
+            panic!("measurement blew up");
+        }));
+        assert!(r.is_err());
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "slot leaked by panic");
     }
 }
