@@ -9,13 +9,38 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
 # Explicit gate: the fault model must stay a seed-pure no-op by default
 # (same-seed determinism + FaultConfig::default() byte-identity).
 echo "== fault determinism gate (tests/faults.rs) =="
 cargo test -q --test faults
 
+# Metamorphic gate: semantics-preserving transforms (cache, workers, VP
+# permutation, recovered faults) leave stitched paths bit-identical;
+# semantics-weakening ones (smaller atlas) only reduce coverage, never
+# audited accuracy. Seeds {1, 7, 42} are baked into the suite.
+echo "== metamorphic suite (release, tests/metamorphic.rs) =="
+cargo test -q --release --test metamorphic
+
+# Stitch-trace audit gate: every accepted hop of a standard-scale campaign
+# replays soundly against the oracle — zero Unsound, zero PolicyViolation
+# (revtr-cli exits nonzero otherwise).
+echo "== stitch-trace audit gate (release, standard scale, seeds 1/7/42) =="
+cargo build -q --release -p revtr-eval
+for seed in 1 7 42; do
+  ./target/release/revtr-cli audit --scale standard --seed "$seed" \
+    | tail -n 1
+done
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+# The audit crate is the arbiter of everyone else's soundness: it alone is
+# additionally held to no-unwrap (a panicking auditor proves nothing).
+echo "== clippy unwrap gate (crates/audit) =="
+cargo clippy -p revtr-audit --all-targets -- -D warnings -D clippy::unwrap_used
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -13,6 +13,7 @@
 //! the *reply* path are exactly the RR-visible addresses a later reverse
 //! traceroute would uncover, so they are indexed ahead of time.
 
+use revtr_aliasing::AliasResolver;
 use revtr_netsim::Addr;
 use revtr_probing::Prober;
 use std::collections::HashMap;
@@ -133,6 +134,7 @@ impl SourceAtlas {
         // RR-atlas: RR-ping each hop from the source; everything revealed
         // after the hop's own stamp is a reverse-path address from that hop
         // toward the source.
+        let resolver = AliasResolver::new(prober.sim());
         for &(i, a) in &hops {
             if a == self.source || prober.sim().host_prefix(a).is_some() {
                 continue; // only router hops are worth probing
@@ -141,12 +143,37 @@ impl SourceAtlas {
                 continue;
             };
             let inter = Intersection { trace: idx, hop: i };
-            // Locate the destination's own stamp: the probed address, or an
-            // adjacent duplicate (loopback/private destinations).
-            let pos = reply.slots.iter().position(|&s| s == a).or_else(|| {
+            // Locate the destination's own stamp: the last occurrence of
+            // the probed address (the forward leg can traverse the probed
+            // router early and stamp it there too), or an adjacent
+            // duplicate (loopback/private destinations).
+            let next_hop = self.traces[idx].hops.get(i + 1).copied().flatten();
+            let pos = reply.slots.iter().rposition(|&s| s == a).or_else(|| {
                 reply.slots.windows(2).position(|w| w[0] == w[1]).map(|p| {
-                    // The doubled address is itself an alias of hop `a`.
-                    self.insert(reply.slots[p], inter, Priority::PreciseAlias);
+                    // An adjacent duplicate is usually the probed router's
+                    // double stamp — but a loopback-mode neighbour stamping
+                    // on both the forward and reply legs around a silent
+                    // destination produces the identical pattern one router
+                    // off. Attribute the doubled address by measured alias
+                    // evidence, and drop it when neither candidate is
+                    // confirmed: indexing it at a guessed hop would splice
+                    // later reverse traceroutes one router away from where
+                    // they actually joined.
+                    let doubled = reply.slots[p];
+                    if resolver.same_router(doubled, a) {
+                        self.insert(doubled, inter, Priority::PreciseAlias);
+                    } else if let Some(next) = next_hop {
+                        if resolver.same_router(doubled, next) {
+                            self.insert(
+                                doubled,
+                                Intersection {
+                                    trace: idx,
+                                    hop: i + 1,
+                                },
+                                Priority::PreciseAlias,
+                            );
+                        }
+                    }
                     p + 1
                 })
             });

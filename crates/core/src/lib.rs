@@ -47,5 +47,8 @@ pub mod result;
 pub mod system;
 
 pub use config::{EngineConfig, SymmetryPolicy, VpSelection};
-pub use result::{HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status};
+pub use result::{
+    Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
+    StitchTrace,
+};
 pub use system::{extract_reverse_hops, RevtrSystem};

@@ -1,7 +1,8 @@
 //! Reverse traceroute results and provenance.
 
-use revtr_netsim::Addr;
-use revtr_probing::Snapshot;
+use crate::config::SymmetryPolicy;
+use revtr_netsim::{Addr, AsId};
+use revtr_probing::{RrProvenance, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// How a reverse hop was discovered.
@@ -32,6 +33,130 @@ pub struct RevtrHop {
     /// True if the hop sits on an AS link flagged as suspicious by the
     /// missing-hop heuristic (a `*` is rendered before it).
     pub suspicious_gap_before: bool,
+}
+
+/// The measurement (or assumption) justifying one accepted reverse hop.
+///
+/// Each variant carries enough raw provenance for the audit layer
+/// (`revtr-audit`) to re-derive the hop against the simulator's oracle
+/// without consulting any engine state: probe provenances replay the
+/// RR reply leg under the original nonce and churn epochs, atlas
+/// snapshots pin the intersected trace, and symmetry evidence records
+/// the engine's full decision inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Evidence {
+    /// The path's first entry: the destination answered a ping.
+    Destination,
+    /// Revealed by a non-spoofed RR ping from the source.
+    RecordRoute {
+        /// Send-time provenance of the revealing probe.
+        prov: RrProvenance,
+    },
+    /// Revealed by a spoofed RR ping from a vantage point.
+    SpoofedRecordRoute {
+        /// Send-time provenance of the revealing probe.
+        prov: RrProvenance,
+    },
+    /// The hop where the path joined an atlas trace via an RR-atlas
+    /// alias (§4.2): `joined` (already on the path) and this hop's own
+    /// address belong to one router or to the two ends of one /30 link.
+    AtlasIntersection {
+        /// The revtr source whose atlas was intersected.
+        source: Addr,
+        /// Atlas probe host that measured the intersected trace.
+        vp: Addr,
+        /// Virtual measurement time of the trace (hours).
+        at_hours: f64,
+        /// The on-path address that matched the intersection index.
+        joined: Addr,
+    },
+    /// A hop copied from the intersected atlas trace's suffix toward
+    /// the source (traceroute-to-source evidence).
+    TrToSource {
+        /// The revtr source whose atlas was intersected.
+        source: Addr,
+        /// Atlas probe host that measured the trace.
+        vp: Addr,
+        /// Virtual measurement time of the trace (hours).
+        at_hours: f64,
+    },
+    /// Confirmed by a TS-prespec adjacency test (revtr 1.0 only).
+    Timestamp {
+        /// The on-path hop the adjacency was tested against.
+        tested_from: Addr,
+    },
+    /// Assumed from forward-path symmetry, with the engine's decision
+    /// inputs so the audit layer can re-derive the interdomain verdict
+    /// and the oracle can grade the assumption itself.
+    AssumedSymmetric {
+        /// The hop the forward traceroute targeted (the stitch point).
+        cur: Addr,
+        /// The penultimate forward hop, adopted as the next reverse hop.
+        penult: Addr,
+        /// ip2as mapping of `cur` at decision time.
+        cur_as: Option<AsId>,
+        /// ip2as mapping of `penult` at decision time.
+        penult_as: Option<AsId>,
+        /// The engine's interdomain verdict (unmappable ⇒ interdomain).
+        interdomain: bool,
+        /// The symmetry policy in force when the hop was accepted.
+        policy: SymmetryPolicy,
+    },
+}
+
+impl Evidence {
+    /// Short label for per-evidence-kind reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Evidence::Destination => "destination",
+            Evidence::RecordRoute { .. } => "record-route",
+            Evidence::SpoofedRecordRoute { .. } => "spoofed-record-route",
+            Evidence::AtlasIntersection { .. } => "atlas-intersection",
+            Evidence::TrToSource { .. } => "tr-to-source",
+            Evidence::Timestamp { .. } => "timestamp",
+            Evidence::AssumedSymmetric { .. } => "assumed-symmetric",
+        }
+    }
+}
+
+/// Why the stitching loop ended (the trace-level decision, as opposed to
+/// the per-hop evidence).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StitchEnd {
+    /// The current hop reached the source (or an address in its prefix).
+    ReachedSource,
+    /// Completed by copying an atlas suffix, which ends at the source.
+    AtlasSuffix,
+    /// Aborted rather than assume symmetry across an interdomain link
+    /// (the revtr 2.0 trust policy, §4.4), with the decision inputs.
+    AbortInterdomain {
+        /// The hop the forward traceroute targeted.
+        cur: Addr,
+        /// The penultimate forward hop the engine declined to adopt.
+        penult: Addr,
+        /// ip2as mapping of `cur` at decision time.
+        cur_as: Option<AsId>,
+        /// ip2as mapping of `penult` at decision time.
+        penult_as: Option<AsId>,
+    },
+    /// The destination never answered any probe.
+    Unresponsive,
+    /// No technique made progress (unresponsive or looping penultimate
+    /// hop, unmappable addresses).
+    Stuck,
+    /// The hop budget (loop guard) ran out.
+    HopBudget,
+}
+
+/// Per-measurement audit trail: `entries[i]` is the evidence behind
+/// `hops[i]` of the owning [`RevtrResult`], and `end` records why the
+/// loop stopped. Empty on results predating trace recording.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StitchTrace {
+    /// Per-hop evidence, aligned 1:1 with the result's `hops`.
+    pub entries: Vec<Evidence>,
+    /// The trace-level terminal decision.
+    pub end: Option<StitchEnd>,
 }
 
 /// Why a measurement ended.
@@ -135,6 +260,9 @@ pub struct RevtrResult {
     pub hops: Vec<RevtrHop>,
     /// Statistics.
     pub stats: RevtrStats,
+    /// Stitch-trace audit trail (`trace.entries[i]` justifies `hops[i]`).
+    #[serde(default)]
+    pub trace: StitchTrace,
 }
 
 impl RevtrResult {
@@ -223,6 +351,7 @@ mod tests {
                 },
             ],
             stats: RevtrStats::default(),
+            trace: StitchTrace::default(),
         };
         let text = r.to_string();
         assert!(text.contains("reverse traceroute from 11.1.128.10"));
@@ -243,6 +372,73 @@ mod tests {
             ..ProbeDelta::default()
         };
         assert_eq!(d.option_probes(), 11);
+    }
+
+    #[test]
+    fn stitch_trace_roundtrips_through_serde() {
+        use revtr_probing::RrProvenance;
+        let trace = StitchTrace {
+            entries: vec![
+                Evidence::Destination,
+                Evidence::SpoofedRecordRoute {
+                    prov: RrProvenance {
+                        sender: Addr(7),
+                        claimed: Addr(8),
+                        dst: Addr(9),
+                        nonce: 42,
+                        fwd_epoch: Some(3),
+                        rep_epoch: None,
+                        from_cache: true,
+                    },
+                },
+                Evidence::AtlasIntersection {
+                    source: Addr(8),
+                    vp: Addr(10),
+                    at_hours: 1.5,
+                    joined: Addr(11),
+                },
+                Evidence::AssumedSymmetric {
+                    cur: Addr(12),
+                    penult: Addr(13),
+                    cur_as: Some(AsId(4)),
+                    penult_as: None,
+                    interdomain: false,
+                    policy: SymmetryPolicy::IntradomainOnly,
+                },
+            ],
+            end: Some(StitchEnd::AbortInterdomain {
+                cur: Addr(1),
+                penult: Addr(2),
+                cur_as: Some(AsId(1)),
+                penult_as: Some(AsId(2)),
+            }),
+        };
+        let json = serde_json::to_string(&trace).expect("serializes");
+        let back: StitchTrace = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn evidence_kind_labels_are_distinct() {
+        let kinds = [
+            Evidence::Destination.kind(),
+            Evidence::TrToSource {
+                source: Addr(1),
+                vp: Addr(2),
+                at_hours: 0.0,
+            }
+            .kind(),
+            Evidence::Timestamp {
+                tested_from: Addr(1),
+            }
+            .kind(),
+        ];
+        assert_eq!(kinds.len(), {
+            let mut k = kinds.to_vec();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        });
     }
 
     #[test]
@@ -269,6 +465,7 @@ mod tests {
                 },
             ],
             stats: RevtrStats::default(),
+            trace: StitchTrace::default(),
         };
         assert!(r.complete());
         assert!(r.has_star());

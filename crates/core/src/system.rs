@@ -15,13 +15,16 @@
 //!    aborting rather than guessing across AS boundaries (§4.4).
 
 use crate::config::{EngineConfig, SymmetryPolicy, VpSelection};
-use crate::result::{HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status};
+use crate::result::{
+    Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
+    StitchTrace,
+};
 use parking_lot::{Mutex, RwLock};
 use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
 use revtr_atlas::{Intersection, SourceAtlas};
 use revtr_netsim::hash::mix3;
-use revtr_netsim::{Addr, PrefixId, Sim};
-use revtr_probing::{ProbeLoss, Prober};
+use revtr_netsim::{Addr, AsId, PrefixId, Sim};
+use revtr_probing::{ProbeLoss, Prober, RrProvenance};
 use revtr_vpselect::{IngressDb, IngressQueue};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -30,16 +33,32 @@ use std::sync::Arc;
 /// destination's own stamp (located by exact match, or by the Appx. C
 /// double-stamp pattern for loopback/private destinations). `None` when the
 /// stamp cannot be located — the reply is unusable.
+///
+/// The exact match takes the *last* occurrence: the forward path can
+/// legitimately traverse the destination router before reaching the probed
+/// interface (a customer-side /30 address routed via its provider), which
+/// plants `dst` in the forward leg. Whenever `dst` appears at all, the
+/// destination also stamps it at the forward/reply boundary, so the last
+/// occurrence is never before the boundary — while the first can be, and
+/// taking it would misattribute forward stamps to the reverse path.
 pub fn extract_reverse_hops(slots: &[Addr], dst: Addr) -> Option<Vec<Addr>> {
     let pos = slots
         .iter()
-        .position(|&s| s == dst)
+        .rposition(|&s| s == dst)
         .or_else(|| slots.windows(2).position(|w| w[0] == w[1]).map(|p| p + 1))?;
     Some(slots[pos + 1..].to_vec())
 }
 
 /// Ark-style adjacency dataset: address → neighbouring addresses.
 type AdjacencyDb = HashMap<Addr, Vec<Addr>>;
+
+/// The symmetry step's decision inputs (recorded as stitch evidence).
+struct SymmetryDecision {
+    penult: Addr,
+    penult_as: Option<AsId>,
+    cur_as: Option<AsId>,
+    interdomain: bool,
+}
 
 /// How many consecutive re-batches a VP queue may hold its position when
 /// its probe is lost to a *transient* fault, before the queue advances to
@@ -376,14 +395,16 @@ impl<'s> RevtrSystem<'s> {
     }
 
     /// The record-route step: direct RR from the source, then spoofed
-    /// batches. Returns newly discovered reverse hops (may be empty).
+    /// batches. On success returns the newly discovered reverse hops, the
+    /// provenance of the revealing probe (all hops of one return come from
+    /// one reply), and whether that probe was spoofed.
     fn rr_step(
         &self,
         cur: Addr,
         src: Addr,
         path_set: &HashSet<Addr>,
         stats: &mut RevtrStats,
-    ) -> (Vec<Addr>, bool) {
+    ) -> Option<(Vec<Addr>, RrProvenance, bool)> {
         let novel = |hops: &[Addr]| -> Vec<Addr> {
             let mut out = Vec::new();
             let mut seen = path_set.clone();
@@ -396,11 +417,11 @@ impl<'s> RevtrSystem<'s> {
         };
 
         // Direct (non-spoofed) RR ping from the source.
-        if let Some(reply) = self.prober.rr_ping(src, cur) {
+        if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
             if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
                 let new = novel(&rev);
                 if !new.is_empty() {
-                    return (new, false);
+                    return Some((new, prov, false));
                 }
             }
         }
@@ -428,9 +449,10 @@ impl<'s> RevtrSystem<'s> {
             stats.batches += replies.timeouts;
 
             let mut best: Vec<Addr> = Vec::new();
-            for ((qi, _vp), reply) in batch.iter().zip(&replies.replies) {
+            let mut best_prov: Option<RrProvenance> = None;
+            for (slot, (qi, _vp)) in batch.iter().enumerate() {
                 let q = &queues[*qi];
-                let usable = reply.as_ref().and_then(|r| {
+                let usable = replies.replies[slot].as_ref().and_then(|r| {
                     // The probe must have traversed the expected ingress.
                     if let Some(ing) = q.expected_ingress {
                         if !r.slots.contains(&ing) {
@@ -443,11 +465,12 @@ impl<'s> RevtrSystem<'s> {
                     let new = novel(&rev);
                     if new.len() > best.len() {
                         best = new;
+                        best_prov = replies.provenance[slot];
                     }
                 }
             }
-            if !best.is_empty() {
-                return (best, true);
+            if let Some(prov) = best_prov.filter(|_| !best.is_empty()) {
+                return Some((best, prov, true));
             }
             // Nothing came back. A queue whose probe was *transiently*
             // lost (fault-attributed, budget exhausted) keeps its current
@@ -466,7 +489,7 @@ impl<'s> RevtrSystem<'s> {
             }
             active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
         }
-        (Vec::new(), true)
+        None
     }
 
     /// The timestamp step (revtr 1.0 only): test traceroute-derived
@@ -545,8 +568,9 @@ impl<'s> RevtrSystem<'s> {
     }
 
     /// The symmetry step (Q5): traceroute to `cur`, take the penultimate
-    /// hop, and decide by link locality. Returns `(hop, interdomain)`.
-    fn symmetry_step(&self, cur: Addr, src: Addr) -> Option<(Addr, bool)> {
+    /// hop, and decide by link locality. The full decision inputs are
+    /// returned so they can be recorded as stitch-trace evidence.
+    fn symmetry_step(&self, cur: Addr, src: Addr) -> Option<SymmetryDecision> {
         let tr = self.prober.traceroute(src, cur)?;
         // The last responsive hop that is not the destination itself.
         let penult = tr
@@ -556,13 +580,18 @@ impl<'s> RevtrSystem<'s> {
             .flatten()
             .find(|&&h| h != cur)
             .copied()?;
-        let a = self.ip2as.map(penult);
-        let b = self.ip2as.map(cur);
-        let interdomain = match (a, b) {
+        let penult_as = self.ip2as.map(penult);
+        let cur_as = self.ip2as.map(cur);
+        let interdomain = match (penult_as, cur_as) {
             (Some(x), Some(y)) => x != y,
             _ => true, // unmappable: cannot vouch for locality
         };
-        Some((penult, interdomain))
+        Some(SymmetryDecision {
+            penult,
+            penult_as,
+            cur_as,
+            interdomain,
+        })
     }
 
     // ---- the measurement loop ---------------------------------------------------
@@ -576,26 +605,31 @@ impl<'s> RevtrSystem<'s> {
         // other campaign workers probe concurrently.
         let snap0 = self.prober.counters().thread_snapshot();
         let mut stats = RevtrStats::default();
+        let mut trace = StitchTrace::default();
         let src_prefix = self.sim.host_prefix(src);
 
-        let finish = |status: Status, hops: Vec<RevtrHop>, mut stats: RevtrStats| {
-            stats.duration_s = self.prober.clock().now_s() - t0;
-            stats.probes =
-                ProbeDelta::from_snapshot(&self.prober.counters().thread_snapshot().since(&snap0));
-            let mut r = RevtrResult {
-                dst,
-                src,
-                status,
-                hops,
-                stats,
+        let finish =
+            |status: Status, hops: Vec<RevtrHop>, mut stats: RevtrStats, trace: StitchTrace| {
+                stats.duration_s = self.prober.clock().now_s() - t0;
+                stats.probes = ProbeDelta::from_snapshot(
+                    &self.prober.counters().thread_snapshot().since(&snap0),
+                );
+                let mut r = RevtrResult {
+                    dst,
+                    src,
+                    status,
+                    hops,
+                    stats,
+                    trace,
+                };
+                self.flag_suspicious(&mut r);
+                r
             };
-            self.flag_suspicious(&mut r);
-            r
-        };
 
         // The destination must answer something.
         if self.prober.ping(src, dst).is_none() {
-            return finish(Status::Unresponsive, Vec::new(), stats);
+            trace.end = Some(StitchEnd::Unresponsive);
+            return finish(Status::Unresponsive, Vec::new(), stats, trace);
         }
 
         let mut hops = vec![RevtrHop {
@@ -603,12 +637,14 @@ impl<'s> RevtrSystem<'s> {
             method: HopMethod::Destination,
             suspicious_gap_before: false,
         }];
+        trace.entries.push(Evidence::Destination);
         let mut path_set: HashSet<Addr> = [dst].into();
         let mut cur = dst;
 
         for _ in 0..self.cfg.max_path_hops {
             if self.reached(cur, src, src_prefix) {
-                return finish(Status::Complete, hops, stats);
+                trace.end = Some(StitchEnd::ReachedSource);
+                return finish(Status::Complete, hops, stats, trace);
             }
 
             // 1. Atlas intersection.
@@ -618,40 +654,65 @@ impl<'s> RevtrSystem<'s> {
                 stats.intersected_hop = Some(inter.hop);
                 stats.intersected_trace_age_h =
                     Some(atlas.trace_age_hours(inter, self.sim.now_hours()));
+                let t = &atlas.traces[inter.trace];
                 let suffix = atlas.suffix(inter);
                 for (i, h) in suffix.iter().enumerate() {
                     if i == 0 && *h == Some(cur) {
                         continue; // already in the path
                     }
                     stats.atlas_hops += 1;
+                    trace.entries.push(if i == 0 {
+                        // An alias join: this hop's address differs from
+                        // `cur` but names the same router (or /30 link).
+                        Evidence::AtlasIntersection {
+                            source: src,
+                            vp: t.vp,
+                            at_hours: t.at_hours,
+                            joined: cur,
+                        }
+                    } else {
+                        Evidence::TrToSource {
+                            source: src,
+                            vp: t.vp,
+                            at_hours: t.at_hours,
+                        }
+                    });
                     hops.push(RevtrHop {
                         addr: *h,
                         method: HopMethod::AtlasIntersection,
                         suspicious_gap_before: false,
                     });
                 }
-                return finish(Status::Complete, hops, stats);
+                trace.end = Some(StitchEnd::AtlasSuffix);
+                return finish(Status::Complete, hops, stats, trace);
             }
 
             // 2. Record route.
-            let (rev, spoofed) = self.rr_step(cur, src, &path_set, &mut stats);
-            if self.cfg.verify_dbr && rev.len() >= 2 {
-                // Appx. E optional mode: re-probe the first revealed hop
-                // and confirm the chain continues the same way; flag the
-                // measurement when destination-based routing is violated.
-                if let Some(first) = rev.first().copied().filter(|a| !a.is_private()) {
-                    let expected = rev[1];
-                    let (verify, _) = self.rr_step(first, src, &path_set, &mut stats);
-                    if !verify.is_empty()
-                        && !verify
-                            .iter()
-                            .any(|&h| h == expected || self.resolver.hop_match(h, expected))
-                    {
-                        stats.dbr_violation_detected = true;
+            let rr_found = self.rr_step(cur, src, &path_set, &mut stats);
+            if self.cfg.verify_dbr {
+                if let Some((rev, _, _)) = rr_found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
+                    // Appx. E optional mode: re-probe the first revealed hop
+                    // and confirm the chain continues the same way. The
+                    // comparison is against the *immediate* next hop: a
+                    // source-dependent router sends the two probes' replies
+                    // down different links right away, and a weaker
+                    // "appears anywhere later" check misses detours that
+                    // reconverge within a hop or two.
+                    if let Some(first) = rev.first().copied().filter(|a| !a.is_private()) {
+                        let expected = rev[1];
+                        let verify = self
+                            .rr_step(first, src, &path_set, &mut stats)
+                            .map(|(v, _, _)| v)
+                            .unwrap_or_default();
+                        if let Some(&h0) = verify.first() {
+                            if h0 != expected && !self.resolver.hop_match(h0, expected) {
+                                stats.dbr_violation_detected = true;
+                            }
+                        }
                     }
                 }
             }
-            if !rev.is_empty() {
+            if let Some((rev, prov, spoofed)) = rr_found {
                 let method = if spoofed {
                     HopMethod::SpoofedRecordRoute
                 } else {
@@ -659,6 +720,11 @@ impl<'s> RevtrSystem<'s> {
                 };
                 for &h in &rev {
                     path_set.insert(h);
+                    trace.entries.push(if spoofed {
+                        Evidence::SpoofedRecordRoute { prov }
+                    } else {
+                        Evidence::RecordRoute { prov }
+                    });
                     hops.push(RevtrHop {
                         addr: Some(h),
                         method,
@@ -676,6 +742,7 @@ impl<'s> RevtrSystem<'s> {
             if self.cfg.use_timestamp {
                 if let Some(adj) = self.ts_step(cur, src, &path_set) {
                     path_set.insert(adj);
+                    trace.entries.push(Evidence::Timestamp { tested_from: cur });
                     hops.push(RevtrHop {
                         addr: Some(adj),
                         method: HopMethod::Timestamp,
@@ -687,28 +754,45 @@ impl<'s> RevtrSystem<'s> {
             }
 
             // 4. Assume symmetry / abort.
-            let Some((penult, interdomain)) = self.symmetry_step(cur, src) else {
-                return finish(Status::Stuck, hops, stats);
+            let Some(d) = self.symmetry_step(cur, src) else {
+                trace.end = Some(StitchEnd::Stuck);
+                return finish(Status::Stuck, hops, stats, trace);
             };
-            if path_set.contains(&penult) {
-                return finish(Status::Stuck, hops, stats);
+            if path_set.contains(&d.penult) {
+                trace.end = Some(StitchEnd::Stuck);
+                return finish(Status::Stuck, hops, stats, trace);
             }
-            if interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly {
-                return finish(Status::AbortedInterdomain, hops, stats);
+            if d.interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly {
+                trace.end = Some(StitchEnd::AbortInterdomain {
+                    cur,
+                    penult: d.penult,
+                    cur_as: d.cur_as,
+                    penult_as: d.penult_as,
+                });
+                return finish(Status::AbortedInterdomain, hops, stats, trace);
             }
             stats.assumed_symmetric += 1;
-            if interdomain {
+            if d.interdomain {
                 stats.assumed_interdomain += 1;
             }
-            path_set.insert(penult);
+            path_set.insert(d.penult);
+            trace.entries.push(Evidence::AssumedSymmetric {
+                cur,
+                penult: d.penult,
+                cur_as: d.cur_as,
+                penult_as: d.penult_as,
+                interdomain: d.interdomain,
+                policy: self.cfg.symmetry,
+            });
             hops.push(RevtrHop {
-                addr: Some(penult),
+                addr: Some(d.penult),
                 method: HopMethod::AssumedSymmetric,
                 suspicious_gap_before: false,
             });
-            cur = penult;
+            cur = d.penult;
         }
-        finish(Status::Stuck, hops, stats)
+        trace.end = Some(StitchEnd::HopBudget);
+        finish(Status::Stuck, hops, stats, trace)
     }
 
     /// Flag suspicious AS gaps (§5.2.2): a small AS apparently adjacent to

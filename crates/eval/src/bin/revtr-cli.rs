@@ -5,12 +5,13 @@
 //! revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst A.B.C.D|auto] [--src A.B.C.D|auto]
 //! revtr-cli reproduce [--scale smoke|standard] [--out DIR]
 //! revtr-cli robustness [--scale smoke|standard] [--out DIR]
+//! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]
 //! ```
 
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::context::EvalScale;
-use revtr_eval::{reproduce, robustness};
+use revtr_eval::{audit, reproduce, robustness};
 use revtr_netsim::{Addr, AsTier, Sim, SimConfig};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
@@ -23,7 +24,8 @@ fn usage() -> ExitCode {
         "usage:\n  revtr-cli topology  [--era tiny|2016|2020] [--seed N]\n  \
          revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst ADDR|auto] [--src ADDR|auto]\n  \
          revtr-cli reproduce [--scale smoke|standard] [--out DIR]\n  \
-         revtr-cli robustness [--scale smoke|standard] [--out DIR]"
+         revtr-cli robustness [--scale smoke|standard] [--out DIR]\n  \
+         revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -236,6 +238,59 @@ fn cmd_robustness(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
+    let seed = match flags.get("seed").map(|s| s.parse::<u64>()) {
+        None => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            eprintln!("--seed must be an unsigned integer");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
+        "smoke" => seed.map(audit::smoke_seeded).unwrap_or_else(audit::smoke),
+        "standard" => seed
+            .map(audit::standard_seeded)
+            .unwrap_or_else(audit::standard),
+        other => {
+            eprintln!("unknown scale {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(s) = seed {
+        println!("(master seed {s})");
+    }
+    println!("{}", report.table().render());
+    println!(
+        "audited {} measurements, {} with failing verdicts",
+        report.summary.results, report.summary.dirty_results
+    );
+    if let Some(dir) = flags.get("out") {
+        let dir = std::path::Path::new(dir);
+        match report.table().save_tsv(dir, "audit") {
+            Ok(()) => eprintln!("TSV written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("could not write TSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.is_clean() {
+        println!("audit gate: PASS (0 unsound, 0 policy violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "audit gate: FAIL ({} unsound, {} policy violations)",
+            report.summary.total_unsound(),
+            report.summary.total_policy_violations()
+        );
+        for f in &report.failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -249,6 +304,7 @@ fn main() -> ExitCode {
         "measure" => cmd_measure(&flags),
         "reproduce" => cmd_reproduce(&flags),
         "robustness" => cmd_robustness(&flags),
+        "audit" => cmd_audit(&flags),
         _ => usage(),
     }
 }

@@ -12,6 +12,7 @@ pub mod accuracy;
 pub mod as_graph;
 pub mod asymmetry;
 pub mod atlas_study;
+pub mod audit;
 pub mod context;
 pub mod dbr_violations;
 pub mod ip2as_ablation;

@@ -316,6 +316,68 @@ impl Sim {
         })
     }
 
+    /// Re-derive the Record Route stamps that the **reply leg** of an
+    /// earlier [`Sim::rr_ping_from`] probe produced, pinning the churn
+    /// epochs recorded at probe time (`fwd_epoch` for the forward walk
+    /// toward `dst`, `rep_epoch` for the reply walk toward `claimed_src`).
+    ///
+    /// The forward leg and destination stamping are recomputed only to
+    /// reproduce slot consumption (the RFC 791 nine-slot cap); the returned
+    /// addresses are exactly the slots appended after the destination
+    /// stamp — the set a correct reverse-hop extraction may draw from.
+    /// Exact whenever link-maintenance faults are off (walks then never
+    /// consult the live clock).
+    pub(crate) fn replay_rr_reply_stamps(
+        &self,
+        sender: Addr,
+        claimed_src: Addr,
+        dst: Addr,
+        nonce: u64,
+        fwd_epoch: Option<u32>,
+        rep_epoch: Option<u32>,
+    ) -> Option<Vec<Addr>> {
+        let attach = self.sender_ok(sender, claimed_src)?;
+        let dest = self.resolve_dest(dst)?;
+        if !self.dest_responds(&dest, dst, ProbeKind::Rr) {
+            return None;
+        }
+        let _receiver_attach = self.host_attach(claimed_src)?;
+
+        let fwd = self.walk_at_epoch(
+            attach,
+            dst,
+            &PktMeta::options(claimed_src, nonce),
+            fwd_epoch,
+        )?;
+        let mut slots: Vec<Addr> = Vec::with_capacity(RR_SLOTS);
+        let sender_gw = self.host_prefix(sender).map(|p| self.prefix_gateway(p));
+        let is_router_dest = matches!(dest, Dest::Router { .. });
+        let dest_gw = match dest {
+            Dest::Host { prefix, .. } => Some(self.prefix_gateway(prefix)),
+            Dest::Router { .. } => None,
+        };
+        self.stamp_walk(&fwd, &mut slots, false, is_router_dest, sender_gw, dest_gw);
+        self.stamp_dest(&dest, dst, &mut slots);
+
+        let reply_start = match dest {
+            Dest::Host { attach, .. } => attach,
+            Dest::Router { router, .. } => router,
+        };
+        let rep = self.walk_at_epoch(
+            reply_start,
+            claimed_src,
+            &PktMeta::options(dst, mix2(nonce, 1)),
+            rep_epoch,
+        )?;
+        let recv_gw = self
+            .host_prefix(claimed_src)
+            .map(|p| self.prefix_gateway(p));
+        let mark = slots.len();
+        self.stamp_walk(&rep, &mut slots, false, false, dest_gw, recv_gw);
+        slots.drain(..mark);
+        Some(slots)
+    }
+
     // ---- timestamp -------------------------------------------------------------
 
     /// TS-prespec echo request: `prespec` holds up to four addresses; each

@@ -295,6 +295,92 @@ mod tests {
     }
 
     #[test]
+    fn token_bucket_refill_exactly_at_virtual_time_boundary() {
+        // 2 tokens/s, burst 1: after draining at t=0 the next whole token
+        // exists at exactly t=500 ms. The bucket must deny strictly before
+        // the boundary and allow at it — `tokens >= 1.0` with exact float
+        // arithmetic (0.5 + 0.5 == 1.0), not an off-by-epsilon either way.
+        let cfg = FaultConfig {
+            icmp_rate_limit_pps: 2.0,
+            icmp_burst: 1.0,
+            ..FaultConfig::default()
+        };
+        let f = Faults::new(5, cfg);
+        let r = RouterId(7);
+        assert!(f.icmp_allowed(r, 0.0), "burst of 1 must pass");
+        assert!(!f.icmp_allowed(r, 0.0), "bucket drained");
+        // Halfway: 0.5 tokens — still denied (a reply needs a whole one).
+        assert!(!f.icmp_allowed(r, 250.0));
+        // Exactly at the refill boundary: 0.5 + 0.25 s · 2/s = 1.0 token.
+        assert!(f.icmp_allowed(r, 500.0), "boundary refill must count");
+        assert!(!f.icmp_allowed(r, 500.0), "token just spent");
+        // Refill is capped at burst: a long idle period earns exactly one.
+        assert!(f.icmp_allowed(r, 60_000.0));
+        assert!(!f.icmp_allowed(r, 60_000.0));
+    }
+
+    #[test]
+    fn token_bucket_ignores_time_running_backwards() {
+        // Out-of-order observations (parallel workers share one virtual
+        // clock) must never refill retroactively or panic: `dt` clamps at
+        // zero and `last_ms` is monotone.
+        let cfg = FaultConfig {
+            icmp_rate_limit_pps: 1.0,
+            icmp_burst: 1.0,
+            ..FaultConfig::default()
+        };
+        let f = Faults::new(8, cfg);
+        let r = RouterId(3);
+        assert!(f.icmp_allowed(r, 5_000.0));
+        assert!(!f.icmp_allowed(r, 5_000.0));
+        // An earlier timestamp earns nothing.
+        assert!(!f.icmp_allowed(r, 1_000.0));
+        // ...and does not reset the refill origin: at t=6s one token has
+        // accrued since t=5s regardless of the stale t=1s observation.
+        assert!(f.icmp_allowed(r, 6_000.0));
+    }
+
+    #[test]
+    fn flap_window_length_zero_is_safe_and_deterministic() {
+        // A degenerate zero-length window must not divide by zero: the
+        // window index is computed against a clamped denominator, so the
+        // draw stays a pure function of the (vp, instant) pair.
+        let cfg = FaultConfig {
+            vp_flap_rate: 0.5,
+            vp_flap_window_hours: 0.0,
+            ..FaultConfig::default()
+        };
+        let f = Faults::new(13, cfg);
+        let vp = Addr::new(10, 4, 0, 2);
+        for t in [0.0, 0.25, 1.0, 7.5] {
+            // No panic, and the same instant always re-draws identically.
+            assert_eq!(f.vp_spoof_flapped(vp, t), f.vp_spoof_flapped(vp, t));
+        }
+        // With certainty-rate the degenerate window still filters always.
+        let all = Faults::new(
+            13,
+            FaultConfig {
+                vp_flap_rate: 1.0,
+                vp_flap_window_hours: 0.0,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(all.vp_spoof_flapped(vp, 0.0));
+        assert!(all.vp_spoof_flapped(vp, 3.7));
+        // Same degenerate guard on the link-maintenance windows.
+        let links = Faults::new(
+            13,
+            FaultConfig {
+                link_maintenance_rate: 1.0,
+                link_maintenance_window_hours: 0.0,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(links.link_down(LinkId(2), 0.0));
+        assert!(links.link_down(LinkId(2), 11.25));
+    }
+
+    #[test]
     fn maintenance_windows_are_scheduled_per_link() {
         let cfg = FaultConfig {
             link_maintenance_rate: 0.25,

@@ -270,7 +270,15 @@ impl Sim {
 
     /// BGP tie-break salt for routing toward `p` at its current epoch.
     fn prefix_salt(&self, p: PrefixId) -> u64 {
-        mix3(self.seed ^ 0x5a17, p.0 as u64, self.prefix_epoch(p) as u64)
+        self.prefix_salt_at(p, self.prefix_epoch(p))
+    }
+
+    /// BGP tie-break salt for routing toward `p` at a pinned churn epoch.
+    /// This is the replay primitive behind the audit layer: a probe whose
+    /// epoch was recorded at measurement time re-walks identically even
+    /// after further churn has moved the live epoch on.
+    fn prefix_salt_at(&self, p: PrefixId, epoch: u32) -> u64 {
+        mix3(self.seed ^ 0x5a17, p.0 as u64, epoch as u64)
     }
 
     /// Salt for routing toward infrastructure addresses of AS `a`
@@ -352,11 +360,17 @@ impl Sim {
 
     /// Routing key for a destination: the announced prefix for host
     /// destinations (churned), or `None` for infrastructure addresses.
-    fn routing_ctx(&self, dest: &Dest) -> (AsId, u64, Option<PrefixId>) {
+    /// `epoch` pins the churn epoch for host destinations (replay);
+    /// `None` reads the live epoch.
+    fn routing_ctx(&self, dest: &Dest, epoch: Option<u32>) -> (AsId, u64, Option<PrefixId>) {
         match *dest {
             Dest::Host { prefix, .. } => {
                 let owner = self.topo.prefix(prefix).owner;
-                (owner, self.prefix_salt(prefix), Some(prefix))
+                let salt = match epoch {
+                    Some(e) => self.prefix_salt_at(prefix, e),
+                    None => self.prefix_salt(prefix),
+                };
+                (owner, salt, Some(prefix))
             }
             Dest::Router { anchor_as, .. } => (anchor_as, self.infra_salt(anchor_as), None),
         }
@@ -418,8 +432,25 @@ impl Sim {
     /// Returns `None` if the destination is unroutable or the hop cap is
     /// exceeded (a forwarding loop through a violating router).
     pub fn walk(&self, start: RouterId, dst_addr: Addr, meta: &PktMeta) -> Option<Walk> {
+        self.walk_at_epoch(start, dst_addr, meta, None)
+    }
+
+    /// Like [`Sim::walk`], but with the destination prefix's churn epoch
+    /// pinned to `epoch` (for host destinations; infrastructure routes are
+    /// never churned so the pin is a no-op for them). `None` reads the live
+    /// epoch, making `walk_at_epoch(s, d, m, None)` byte-identical to
+    /// `walk(s, d, m)`. The audit layer uses the pinned form to re-derive
+    /// the exact forwarding decisions of a probe recorded earlier in
+    /// virtual time.
+    pub fn walk_at_epoch(
+        &self,
+        start: RouterId,
+        dst_addr: Addr,
+        meta: &PktMeta,
+        epoch: Option<u32>,
+    ) -> Option<Walk> {
         let dest = self.resolve_dest(dst_addr)?;
-        let (target_as, salt, pid) = self.routing_ctx(&dest);
+        let (target_as, salt, pid) = self.routing_ctx(&dest, epoch);
         let (final_router, via, deliver_to_host) = match dest {
             Dest::Host { attach, .. } => (attach, None, true),
             Dest::Router {

@@ -33,6 +33,23 @@ pub struct RrKey {
     pub dst: Addr,
 }
 
+/// A cached RR outcome together with the send-time provenance of the
+/// original probe. Cache hits must replay under the *original* nonce and
+/// churn epochs — not the hit-time ones — or the audit layer could never
+/// re-derive the reply path the stamps actually took.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedRr {
+    /// The observed reply (`None` = genuinely unanswered).
+    pub reply: Option<RrReply>,
+    /// Per-probe nonce the original send routed under.
+    pub nonce: u64,
+    /// Churn epoch of the destination's prefix at send time (`None` for
+    /// infrastructure destinations, which are never churned).
+    pub fwd_epoch: Option<u32>,
+    /// Churn epoch of the claimed source's prefix at send time.
+    pub rep_epoch: Option<u32>,
+}
+
 /// Point-in-time cache effectiveness counters.
 ///
 /// `hits + misses` equals total lookups; `expired` counts the subset of
@@ -69,7 +86,7 @@ type TracerouteMap = StripedMap<(Addr, Addr), Entry<Option<TraceResult>>>;
 pub struct MeasurementCache {
     ttl_hours: f64,
     traceroutes: TracerouteMap,
-    rr: StripedMap<RrKey, Entry<Option<RrReply>>>,
+    rr: StripedMap<RrKey, Entry<CachedRr>>,
     hits: CachePadded<AtomicU64>,
     misses: CachePadded<AtomicU64>,
     inserts: CachePadded<AtomicU64>,
@@ -136,14 +153,14 @@ impl MeasurementCache {
         );
     }
 
-    /// Cached RR measurement, if fresh.
-    pub fn get_rr(&self, sim: &Sim, key: RrKey) -> Option<Option<RrReply>> {
+    /// Cached RR measurement (reply + original send provenance), if fresh.
+    pub fn get_rr(&self, sim: &Sim, key: RrKey) -> Option<CachedRr> {
         let now = sim.now_hours();
         self.classify(self.rr.get(&key), now)
     }
 
-    /// Store an RR outcome (including "no answer").
-    pub fn put_rr(&self, sim: &Sim, key: RrKey, v: Option<RrReply>) {
+    /// Store an RR outcome (including "no answer") with its provenance.
+    pub fn put_rr(&self, sim: &Sim, key: RrKey, v: CachedRr) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.rr.insert(
             key,
@@ -216,7 +233,13 @@ mod tests {
             claimed: Addr(2),
             dst: Addr(9),
         };
-        cache.put_rr(&sim, k1, None);
+        let miss = CachedRr {
+            reply: None,
+            nonce: 0,
+            fwd_epoch: None,
+            rep_epoch: None,
+        };
+        cache.put_rr(&sim, k1, miss);
         assert!(cache.get_rr(&sim, k1).is_some());
         assert!(cache.get_rr(&sim, k2).is_none());
     }

@@ -31,9 +31,10 @@ pub mod clock;
 pub mod counters;
 pub mod prober;
 
-pub use cache::{CacheStats, MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
+pub use cache::{CacheStats, CachedRr, MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
 pub use clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
 pub use counters::{Counters, ProbeKind, Snapshot};
 pub use prober::{
-    BatchReply, ProbeLoss, Prober, RetryPolicy, PROBE_TIMEOUT_MS, TRACEROUTE_TIMEOUT_MS,
+    BatchReply, ProbeLoss, Prober, RetryPolicy, RrProvenance, PROBE_TIMEOUT_MS,
+    TRACEROUTE_TIMEOUT_MS,
 };

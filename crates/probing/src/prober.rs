@@ -16,10 +16,11 @@
 //! retried: budgets are spent only where a real retry could help, and a
 //! fault-free sim behaves bit-identically whatever the budgets are.
 
-use crate::cache::{MeasurementCache, RrKey};
+use crate::cache::{CachedRr, MeasurementCache, RrKey};
 use crate::clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
 use crate::counters::{Counters, ProbeKind};
 use revtr_netsim::{Addr, EchoReply, RrReply, Sim, TraceResult, TsReply};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -89,11 +90,38 @@ pub enum ProbeLoss {
     Transient,
 }
 
+/// Send-time provenance of one Record Route observation: everything the
+/// audit layer needs to replay the probe's reply leg against the oracle
+/// ([`revtr_netsim::oracle::Oracle::replay_rr_reply_stamps`]). A cache hit
+/// carries the provenance of the *original* send — the stamps in the
+/// cached reply were produced under that nonce and those churn epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RrProvenance {
+    /// Emitting vantage point.
+    pub sender: Addr,
+    /// Claimed (possibly spoofed) source the reply routed to.
+    pub claimed: Addr,
+    /// Probe target.
+    pub dst: Addr,
+    /// Per-probe nonce the send routed under.
+    pub nonce: u64,
+    /// Churn epoch of the destination's prefix at send time (`None` for
+    /// infrastructure destinations).
+    pub fwd_epoch: Option<u32>,
+    /// Churn epoch of the claimed source's prefix at send time.
+    pub rep_epoch: Option<u32>,
+    /// True if this observation was served from the measurement cache.
+    pub from_cache: bool,
+}
+
 /// Result of a spoofed RR batch, with per-pair fault attribution.
 #[derive(Clone, Debug)]
 pub struct BatchReply {
     /// Per-pair replies, in input order (`None` = no reply).
     pub replies: Vec<Option<RrReply>>,
+    /// Per-pair replay provenance, `Some` exactly where `replies` is
+    /// (cache hits carry the original send's provenance).
+    pub provenance: Vec<Option<RrProvenance>>,
     /// `transient[i]` is true when pair `i`'s misses were fault losses
     /// (its retry budget ran out) rather than genuine unresponsiveness.
     pub transient: Vec<bool>,
@@ -202,6 +230,18 @@ impl<'s> Prober<'s> {
         }
     }
 
+    /// Churn epochs of the (destination, claimed source) prefixes at this
+    /// instant. Must be read *immediately before* the sim probe call —
+    /// `charge` can flush virtual hours into the sim and bump epochs.
+    fn epochs(&self, dst: Addr, claimed: Addr) -> (Option<u32>, Option<u32>) {
+        (
+            self.sim.host_prefix(dst).map(|p| self.sim.prefix_epoch(p)),
+            self.sim
+                .host_prefix(claimed)
+                .map(|p| self.sim.prefix_epoch(p)),
+        )
+    }
+
     /// Charge backoff before re-send number `attempt` (1-based) and count
     /// the retry.
     fn charge_retry(&self, attempt: u32) {
@@ -246,6 +286,16 @@ impl<'s> Prober<'s> {
     /// unanswered (persistent) vs fault-lost beyond the retry budget
     /// (transient).
     pub fn rr_ping_outcome(&self, src: Addr, dst: Addr) -> Result<RrReply, ProbeLoss> {
+        self.rr_ping_observed(src, dst).map(|(r, _)| r)
+    }
+
+    /// [`Prober::rr_ping_outcome`] plus the send-time provenance needed to
+    /// replay the observation (stitch-trace audit).
+    pub fn rr_ping_observed(
+        &self,
+        src: Addr,
+        dst: Addr,
+    ) -> Result<(RrReply, RrProvenance), ProbeLoss> {
         let key = RrKey {
             sender: src,
             claimed: src,
@@ -253,7 +303,16 @@ impl<'s> Prober<'s> {
         };
         if self.use_cache {
             if let Some(hit) = self.cache.get_rr(self.sim, key) {
-                return hit.ok_or(ProbeLoss::Unanswered);
+                let prov = RrProvenance {
+                    sender: src,
+                    claimed: src,
+                    dst,
+                    nonce: hit.nonce,
+                    fwd_epoch: hit.fwd_epoch,
+                    rep_epoch: hit.rep_epoch,
+                    from_cache: true,
+                };
+                return hit.reply.map(|r| (r, prov)).ok_or(ProbeLoss::Unanswered);
             }
         }
         for attempt in 0..self.retry.rr_attempts.max(1) {
@@ -266,14 +325,34 @@ impl<'s> Prober<'s> {
                 self.charge(None);
                 continue;
             }
-            let r = self.sim.rr_ping(src, dst, self.next_nonce());
+            let nonce = self.next_nonce();
+            let (fwd_epoch, rep_epoch) = self.epochs(dst, src);
+            let r = self.sim.rr_ping(src, dst, nonce);
             self.charge(r.as_ref().map(|x| x.rtt_ms));
             if self.use_cache {
                 // Cache only genuine outcomes; fault losses above are
                 // transient and must not be negative-cached.
-                self.cache.put_rr(self.sim, key, r.clone());
+                self.cache.put_rr(
+                    self.sim,
+                    key,
+                    CachedRr {
+                        reply: r.clone(),
+                        nonce,
+                        fwd_epoch,
+                        rep_epoch,
+                    },
+                );
             }
-            return r.ok_or(ProbeLoss::Unanswered);
+            let prov = RrProvenance {
+                sender: src,
+                claimed: src,
+                dst,
+                nonce,
+                fwd_epoch,
+                rep_epoch,
+                from_cache: false,
+            };
+            return r.map(|x| (x, prov)).ok_or(ProbeLoss::Unanswered);
         }
         Err(ProbeLoss::Transient)
     }
@@ -311,6 +390,7 @@ impl<'s> Prober<'s> {
         let n = pairs.len();
         let mut out = BatchReply {
             replies: vec![None; n],
+            provenance: vec![None; n],
             transient: vec![false; n],
             timeouts: 0,
         };
@@ -323,7 +403,18 @@ impl<'s> Prober<'s> {
             };
             if self.use_cache {
                 if let Some(hit) = self.cache.get_rr(self.sim, key) {
-                    out.replies[i] = hit;
+                    if hit.reply.is_some() {
+                        out.provenance[i] = Some(RrProvenance {
+                            sender: vp,
+                            claimed,
+                            dst,
+                            nonce: hit.nonce,
+                            fwd_epoch: hit.fwd_epoch,
+                            rep_epoch: hit.rep_epoch,
+                            from_cache: true,
+                        });
+                    }
+                    out.replies[i] = hit.reply;
                     continue;
                 }
             }
@@ -346,15 +437,35 @@ impl<'s> Prober<'s> {
                     still_pending.push(i);
                     continue;
                 }
-                let r = self.sim.rr_ping_from(vp, claimed, dst, self.next_nonce());
+                let nonce = self.next_nonce();
+                let (fwd_epoch, rep_epoch) = self.epochs(dst, claimed);
+                let r = self.sim.rr_ping_from(vp, claimed, dst, nonce);
                 if self.use_cache {
                     let key = RrKey {
                         sender: vp,
                         claimed,
                         dst,
                     };
-                    self.cache.put_rr(self.sim, key, r.clone());
+                    self.cache.put_rr(
+                        self.sim,
+                        key,
+                        CachedRr {
+                            reply: r.clone(),
+                            nonce,
+                            fwd_epoch,
+                            rep_epoch,
+                        },
+                    );
                 }
+                out.provenance[i] = r.as_ref().map(|_| RrProvenance {
+                    sender: vp,
+                    claimed,
+                    dst,
+                    nonce,
+                    fwd_epoch,
+                    rep_epoch,
+                    from_cache: false,
+                });
                 out.replies[i] = r;
                 out.transient[i] = false;
             }

@@ -110,6 +110,7 @@ mod tests {
                 suspicious_gap_before: false,
             }],
             stats: RevtrStats::default(),
+            trace: revtr::StitchTrace::default(),
         }
     }
 

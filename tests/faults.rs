@@ -7,8 +7,9 @@
 //!   a no-retry run, so every pre-fault-model seed still reproduces.
 
 use revtr_suite::atlas::select_atlas_probes;
-use revtr_suite::netsim::{Addr, FaultConfig, Sim, SimConfig};
-use revtr_suite::probing::{Prober, RetryPolicy};
+use revtr_suite::netsim::sim::PktMeta;
+use revtr_suite::netsim::{Addr, FaultConfig, RouterId, Sim, SimConfig};
+use revtr_suite::probing::{ProbeLoss, Prober, RetryPolicy};
 use revtr_suite::revtr::{EngineConfig, RevtrResult, RevtrSystem};
 use revtr_suite::vpselect::{Heuristics, IngressDb};
 use std::sync::Arc;
@@ -103,4 +104,192 @@ fn default_fault_config_and_retry_budgets_are_inert() {
         assert_eq!(r.stats.probes.retries, 0, "retry issued with no faults");
         assert_eq!(r.stats.probes.lost, 0, "loss recorded with no faults");
     }
+}
+
+/// Walk outcomes as one bool per destination (link maintenance is the only
+/// fault class that can silently eat a packet inside `Sim::walk`).
+fn reachability(sim: &Sim, src: Addr, dests: &[Addr]) -> Vec<bool> {
+    dests.iter().map(|&d| sim.ping(src, d).is_some()).collect()
+}
+
+#[test]
+fn maintenance_schedule_is_frozen_within_a_window() {
+    let mut cfg = SimConfig::tiny();
+    cfg.behavior.churn_per_hour = 0.0;
+    cfg.faults.link_maintenance_rate = 0.5;
+    cfg.faults.link_maintenance_window_hours = 6.0;
+    let sim = Sim::build(cfg, 17);
+    let src = sim.topo().vp_sites[0].host;
+    let dests = destinations(&sim, 20);
+
+    // Within one window the link states are constant: walks at t = 0, 2
+    // and 5.9 hours see the identical schedule, however often they re-run.
+    let early = reachability(&sim, src, &dests);
+    assert_eq!(
+        early,
+        reachability(&sim, src, &dests),
+        "same instant replays"
+    );
+    sim.advance_hours(2.0);
+    assert_eq!(early, reachability(&sim, src, &dests));
+    sim.advance_hours(3.9);
+    assert_eq!(early, reachability(&sim, src, &dests));
+
+    // Across window boundaries the schedule re-draws: at rate 0.5 some
+    // path must flip within a few windows (and not everything goes dark).
+    let mut per_window = vec![early];
+    for _ in 0..6 {
+        sim.advance_hours(6.0);
+        per_window.push(reachability(&sim, src, &dests));
+    }
+    assert!(
+        per_window.windows(2).any(|w| w[0] != w[1]),
+        "no path ever flipped across maintenance windows"
+    );
+    assert!(
+        per_window.iter().all(|v| v.iter().any(|&b| b)),
+        "maintenance blacked out every destination"
+    );
+}
+
+#[test]
+fn walks_snapshot_maintenance_state_atomically() {
+    // A maintenance window opening while a walk is in progress must not
+    // half-apply: `Sim::walk` reads virtual time once, so even with a
+    // concurrent thread advancing the clock across window boundaries,
+    // every observed path equals some *pure* single-window path — never a
+    // hybrid stitched from two schedules.
+    let mut cfg = SimConfig::tiny();
+    cfg.behavior.churn_per_hour = 0.0;
+    cfg.faults.link_maintenance_rate = 0.4;
+    cfg.faults.link_maintenance_window_hours = 1.0;
+    let seed = 18;
+
+    // Pick a (start router, destination) whose path actually changes
+    // across windows, then record the pure path for windows 0..=20.
+    let probe = |sim: &Sim, start: RouterId, dst: Addr| -> Option<Vec<RouterId>> {
+        sim.walk(start, dst, &PktMeta::plain(dst, 5))
+            .map(|w| w.hops.iter().map(|h| h.router).collect())
+    };
+    let reference = Sim::build(cfg.clone(), seed);
+    let start = reference.topo().vp_sites[0].router;
+    let dests = destinations(&reference, 20);
+    let mut allowed: Vec<Vec<Option<Vec<RouterId>>>> = vec![Vec::new(); dests.len()];
+    for w in 0..=20 {
+        for (i, &d) in dests.iter().enumerate() {
+            allowed[i].push(probe(&reference, start, d));
+        }
+        if w < 20 {
+            reference.advance_hours(1.0);
+        }
+    }
+    assert!(
+        allowed
+            .iter()
+            .any(|per_w| { per_w.iter().any(|p| p != &per_w[0]) }),
+        "maintenance never rerouted or dropped any probed path"
+    );
+
+    // Fresh sim, same seed: faults are seed-pure, so the window schedule
+    // above is *the* schedule. Walk continuously while another thread
+    // sweeps the clock through all 20 boundaries.
+    let live = Sim::build(cfg, seed);
+    std::thread::scope(|scope| {
+        let advancer = scope.spawn(|| {
+            for _ in 0..200 {
+                live.advance_hours(0.1);
+                std::thread::yield_now();
+            }
+        });
+        while !advancer.is_finished() {
+            for (i, &d) in dests.iter().enumerate() {
+                let got = probe(&live, start, d);
+                assert!(
+                    allowed[i].contains(&got),
+                    "walk to {d} produced a path matching no single window: {got:?}"
+                );
+            }
+        }
+        advancer.join().expect("advancer panicked");
+    });
+}
+
+#[test]
+fn unanswered_probes_are_never_retried() {
+    // Genuine unresponsiveness is deterministic in-sim: re-sending cannot
+    // change the outcome, so the budget must not be spent. This held at
+    // introduction and is pinned here against regressions in the retry
+    // loop (an early draft retried every `None`, quadrupling campaign
+    // probe counts against unresponsive destinations).
+    let sim = Sim::build(SimConfig::tiny(), 95);
+    let p = Prober::new(&sim)
+        .with_cache_enabled(false)
+        .with_retry_policy(RetryPolicy::uniform(5));
+    let vp = sim.topo().vp_sites[0].host;
+    let dark = Addr::new(10, 9, 9, 9); // unallocated: never answers
+    let before = p.counters().snapshot();
+    assert_eq!(p.rr_ping_outcome(vp, dark), Err(ProbeLoss::Unanswered));
+    assert_eq!(
+        p.ts_ping_outcome(vp, dark, &[dark]),
+        Err(ProbeLoss::Unanswered)
+    );
+    assert!(p.ping(vp, dark).is_none());
+    assert!(p.traceroute_fresh(vp, dark).is_none());
+    let d = p.counters().snapshot().since(&before);
+    assert_eq!(d.rr, 1, "unanswered RR re-sent");
+    assert_eq!(d.ts, 1, "unanswered TS re-sent");
+    assert_eq!(d.ping, 1, "unanswered ping re-sent");
+    assert_eq!(d.traceroutes, 1, "unanswered traceroute re-sent");
+    assert_eq!(d.retries, 0, "budget spent on a deterministic non-answer");
+    assert_eq!(d.lost, 0, "no faults enabled, nothing to lose");
+}
+
+#[test]
+fn retry_meta_counters_reconcile_across_a_faulted_campaign() {
+    // Bookkeeping identities under faults, per probe category:
+    //   sends  == fresh probes + re-sends        (kind == calls + retries)
+    //   losses == re-sends + unrecovered         (lost == retries + transient)
+    // Every re-send is provoked by exactly one prior fault loss, and every
+    // loss either provokes a re-send or exhausts the budget (surfacing as
+    // `ProbeLoss::Transient` / a `transient` batch flag).
+    let mut cfg = SimConfig::tiny();
+    cfg.faults.probe_loss = 0.35;
+    let sim = Sim::build(cfg, 96);
+    let p = Prober::new(&sim)
+        .with_cache_enabled(false)
+        .with_retry_policy(RetryPolicy::uniform(4));
+    let vps = &sim.topo().vp_sites;
+    let responsive: Vec<Addr> = destinations(&sim, 30);
+
+    // Unicast RR leg.
+    let before = p.counters().snapshot();
+    let mut transient = 0u64;
+    for &d in &responsive {
+        match p.rr_ping_outcome(vps[0].host, d) {
+            Ok(_) | Err(ProbeLoss::Unanswered) => {}
+            Err(ProbeLoss::Transient) => transient += 1,
+        }
+    }
+    let d = p.counters().snapshot().since(&before);
+    assert_eq!(d.rr, responsive.len() as u64 + d.retries, "sends identity");
+    assert_eq!(d.lost, d.retries + transient, "losses identity");
+    assert!(d.lost > 0, "loss rate 0.35 injected nothing (vacuous)");
+
+    // Spoofed batch leg: same identities from the per-pair flags.
+    let pairs: Vec<(Addr, Addr)> = responsive
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (vps[1 + i % (vps.len() - 1)].host, d))
+        .collect();
+    let before = p.counters().snapshot();
+    let batch = p.spoofed_rr_batch(&pairs, vps[0].host);
+    let d = p.counters().snapshot().since(&before);
+    let still_transient = batch.transient.iter().filter(|&&t| t).count() as u64;
+    assert_eq!(d.spoof_rr, pairs.len() as u64 + d.retries, "sends identity");
+    assert_eq!(d.lost, d.retries + still_transient, "losses identity");
+    assert!(
+        batch.timeouts >= 1 && batch.timeouts <= 4,
+        "round count outside the budget: {}",
+        batch.timeouts
+    );
 }

@@ -1,0 +1,291 @@
+//! Metamorphic tests over whole campaigns (seeds {1, 7, 42}).
+//!
+//! Semantics-preserving transforms — measurement cache on/off, worker
+//! count, VP-site permutation, fault injection with a retry budget
+//! generous enough to recover every transient loss — must leave every
+//! stitched reverse path bit-identical (status plus per-hop address and
+//! method; stats and wall-clock are excluded by construction).
+//!
+//! Semantics-weakening transforms — shrinking the atlas probe pool to a
+//! strict subset — may only reduce coverage (fewer `Complete` paths),
+//! never audited accuracy: both arms must still pass the stitch-trace
+//! audit with zero unsound verdicts.
+//!
+//! Load balancing and churn are disabled in every arm: both make probe
+//! replies depend on nonce-consumption order and virtual-time partitioning,
+//! which the transforms deliberately perturb. The properties under test
+//! are about the *engine*, not the simulator's stochastic layers.
+
+use revtr_suite::atlas::select_atlas_probes;
+use revtr_suite::audit::Auditor;
+use revtr_suite::netsim::{Addr, FaultConfig, Sim, SimConfig};
+use revtr_suite::probing::{Prober, RetryPolicy};
+use revtr_suite::revtr::{EngineConfig, HopMethod, RevtrSystem, Status};
+use revtr_suite::vpselect::{Heuristics, IngressDb};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+/// What a transform must preserve: outcome plus the stitched path with
+/// per-hop provenance method. Stats (probe counts, durations, batches)
+/// are explicitly excluded — they legitimately vary across arms.
+type Fingerprint = (Status, Vec<(Option<Addr>, HopMethod)>);
+
+fn fingerprint(r: &revtr_suite::revtr::RevtrResult) -> Fingerprint {
+    (
+        r.status,
+        r.hops.iter().map(|h| (h.addr, h.method)).collect(),
+    )
+}
+
+/// Deterministic base simulator: no churn (virtual-time partitioning
+/// across workers would move epoch flushes) and no per-packet load
+/// balancing (retries and cache misses would re-roll paths).
+fn base_cfg() -> SimConfig {
+    let mut cfg = SimConfig::tiny();
+    cfg.behavior.churn_per_hour = 0.0;
+    cfg.behavior.router_load_balancer = 0.0;
+    cfg
+}
+
+/// Arm parameters for one campaign run.
+struct Arm {
+    use_cache: bool,
+    workers: usize,
+    /// Left-rotation applied to the VP list (0 = identity).
+    vp_rotation: usize,
+    /// Atlas probe pool size (the selection is prefix-stable in `n`).
+    atlas_pool: usize,
+    /// Retry budget; `None` keeps the prober's default single attempt.
+    retries: Option<u32>,
+}
+
+impl Arm {
+    fn baseline() -> Arm {
+        Arm {
+            use_cache: true,
+            workers: 1,
+            vp_rotation: 0,
+            atlas_pool: 100,
+            retries: None,
+        }
+    }
+}
+
+/// The campaign workload for a sim: one RR-responsive destination per
+/// prefix, all measured from a fixed source (`vp_sites[0]`, chosen
+/// independently of any VP permutation the arm applies).
+fn workload(sim: &Sim, n: usize) -> (Addr, Vec<Addr>) {
+    let src = sim.topo().vp_sites[0].host;
+    let dests: Vec<Addr> = sim
+        .topo()
+        .prefixes
+        .iter()
+        .filter_map(|pe| {
+            sim.host_addrs(pe.id)
+                .find(|&a| sim.behavior().host_rr_responsive(a) && a != src)
+        })
+        .take(n)
+        .collect();
+    (src, dests)
+}
+
+/// Run one campaign arm and return the per-destination fingerprints, in
+/// input order regardless of worker interleaving.
+fn run_arm(sim: &Sim, arm: &Arm) -> Vec<Fingerprint> {
+    let prober = match arm.retries {
+        Some(budget) => Prober::new(sim).with_retry_policy(RetryPolicy::uniform(budget)),
+        None => Prober::new(sim),
+    };
+    let mut vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let n_vps = vps.len().max(1);
+    vps.rotate_left(arm.vp_rotation % n_vps);
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, arm.atlas_pool, 6);
+    let mut cfg = EngineConfig::revtr2();
+    // Use the whole pool: the engine otherwise *samples* `atlas_size`
+    // probes, and a sample of a larger pool is not a superset of a sample
+    // of a smaller one — which the atlas-shrink monotonicity test needs.
+    cfg.atlas_size = pool.len();
+    cfg.use_cache = arm.use_cache;
+    let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+
+    let (src, dests) = workload(sim, 24);
+    sys.register_source(src);
+    assert!(dests.len() >= 8, "workload too small to be meaningful");
+
+    if arm.workers <= 1 {
+        return dests
+            .iter()
+            .map(|&d| fingerprint(&sys.measure(d, src)))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<Fingerprint>>> =
+        (0..dests.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..arm.workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= dests.len() {
+                    break;
+                }
+                let fp = fingerprint(&sys.measure(dests[i], src));
+                *slots[i].lock().expect("slot lock") = Some(fp);
+            });
+        }
+    });
+    slots
+        .iter()
+        .map(|s| s.lock().expect("slot lock").clone().expect("slot filled"))
+        .collect()
+}
+
+fn assert_arms_identical(name: &str, seed: u64, base: &[Fingerprint], arm: &[Fingerprint]) {
+    assert_eq!(
+        base.len(),
+        arm.len(),
+        "{name}: workload size diverged (seed {seed})"
+    );
+    for (i, (b, a)) in base.iter().zip(arm).enumerate() {
+        assert_eq!(
+            b, a,
+            "{name}: stitched path diverged for request {i} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn cache_toggle_preserves_stitched_paths() {
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        let no_cache = run_arm(
+            &sim,
+            &Arm {
+                use_cache: false,
+                ..Arm::baseline()
+            },
+        );
+        assert_arms_identical("cache off", seed, &base, &no_cache);
+    }
+}
+
+#[test]
+fn worker_count_preserves_stitched_paths() {
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        let parallel = run_arm(
+            &sim,
+            &Arm {
+                workers: 8,
+                ..Arm::baseline()
+            },
+        );
+        assert_arms_identical("8 workers", seed, &base, &parallel);
+    }
+}
+
+#[test]
+fn vp_permutation_preserves_stitched_paths() {
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        for rotation in [1, 5] {
+            let rotated = run_arm(
+                &sim,
+                &Arm {
+                    vp_rotation: rotation,
+                    ..Arm::baseline()
+                },
+            );
+            assert_arms_identical("VP rotation", seed, &base, &rotated);
+        }
+    }
+}
+
+#[test]
+fn recovered_faults_preserve_stitched_paths() {
+    // Transient loss with a retry budget generous enough that the chance
+    // of exhausting it (0.3^25) is negligible: every lost probe is
+    // eventually resent and — with load balancing off — answered
+    // identically, so the stitched paths must match the fault-free run.
+    for seed in SEEDS {
+        let clean_sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&clean_sim, &Arm::baseline());
+
+        let mut faulty = base_cfg();
+        faulty.faults = FaultConfig::lossy(0.3);
+        let faulty_sim = Sim::build(faulty, seed);
+        let recovered = run_arm(
+            &faulty_sim,
+            &Arm {
+                retries: Some(25),
+                ..Arm::baseline()
+            },
+        );
+        assert_arms_identical("faults + retries", seed, &base, &recovered);
+    }
+}
+
+#[test]
+fn atlas_shrink_is_coverage_monotone_and_accuracy_stable() {
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+
+        // The premise: the smaller pool is a strict subset (prefix) of the
+        // larger one, so shrinking only *removes* atlas traces.
+        let big_pool = select_atlas_probes(&sim, 100, 6);
+        let small_pool = select_atlas_probes(&sim, 30, 6);
+        assert!(small_pool.len() < big_pool.len());
+        assert_eq!(&big_pool[..small_pool.len()], &small_pool[..]);
+
+        let big = run_arm(&sim, &Arm::baseline());
+        let small = run_arm(
+            &sim,
+            &Arm {
+                atlas_pool: 30,
+                ..Arm::baseline()
+            },
+        );
+
+        // Coverage may only drop...
+        let complete =
+            |fps: &[Fingerprint]| fps.iter().filter(|(s, _)| *s == Status::Complete).count();
+        assert!(
+            complete(&small) <= complete(&big),
+            "shrinking the atlas increased coverage (seed {seed}): {} > {}",
+            complete(&small),
+            complete(&big)
+        );
+
+        // ...and accuracy never does: both arms still audit clean.
+        let auditor = Auditor::new(&sim, EngineConfig::revtr2().registry_only_ip2as);
+        for pool_n in [100usize, 30] {
+            let prober = Prober::new(&sim);
+            let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+            let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+            let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+            let pool = select_atlas_probes(&sim, pool_n, 6);
+            let mut cfg = EngineConfig::revtr2();
+            cfg.atlas_size = pool.len();
+            let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+            let (src, dests) = workload(&sim, 24);
+            sys.register_source(src);
+            for &d in &dests {
+                let r = sys.measure(d, src);
+                let audit = auditor.audit(&r);
+                let first_failure = audit.failures().next();
+                if let Some(f) = first_failure {
+                    panic!(
+                        "pool {pool_n}, seed {seed}: {} -> {} hop {} ({}): {:?}",
+                        r.dst, r.src, f.index, f.kind, f.verdict
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ fn tiny_sim(seed: u64) -> Sim {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Valley-free + loop-free BGP for arbitrary seeds and destinations.
     #[test]
@@ -44,15 +44,24 @@ proptest! {
     }
 
     /// RR replies never exceed nine slots and never contain the network
-    /// address of a /24.
+    /// address of a /24 — from *any* vantage point, not just site 0 (the
+    /// probing VP determines the forward leg, so each VP exercises a
+    /// different split of the nine slots).
     #[test]
-    fn rr_slots_respect_rfc791(seed in 0u64..200, dst_pick in 0usize..60, nonce in 0u64..50) {
+    fn rr_slots_respect_rfc791(
+        seed in 0u64..200,
+        vp_pick in 0usize..32,
+        dst_pick in 0usize..60,
+        nonce in 0u64..50,
+    ) {
         let sim = tiny_sim(seed);
         let vps = &sim.topo().vp_sites;
+        let src = vps[vp_pick % vps.len()].host;
         let prefixes = &sim.topo().prefixes;
         let pe = &prefixes[dst_pick % prefixes.len()];
         let dst = sim.host_addrs(pe.id).next().expect("hosts");
-        if let Some(r) = sim.rr_ping(vps[0].host, dst, nonce) {
+        if dst == src { return Ok(()); }
+        if let Some(r) = sim.rr_ping(src, dst, nonce) {
             prop_assert!(r.slots.len() <= RR_SLOTS);
             for s in &r.slots {
                 prop_assert_ne!(*s, Addr::ZERO);
@@ -156,5 +165,104 @@ proptest! {
         if b.host_ts_responsive(host) {
             prop_assert!(b.host_ping_responsive(host));
         }
+    }
+}
+
+/// Pinned failing-case replays. The vendored proptest shim has no failure
+/// persistence or shrinking, so inputs that ever exposed a bug are pinned
+/// here as explicit tests (and recorded in `proptest-regressions/
+/// properties.txt`). These run on every `cargo test`, not just when the
+/// generator happens to land on them.
+mod regressions {
+    use revtr_suite::netsim::{Addr, Sim, SimConfig, RR_SLOTS};
+    use revtr_suite::revtr::extract_reverse_hops;
+
+    /// Seed 0, src 11.7.128.4 (VP site 0), dst 11.0.16.26 (a router
+    /// interface): the forward path traverses the destination router, so
+    /// the destination address is stamped at slot 1 (forward leg) *and*
+    /// slot 3 (the forward/reply boundary). First-occurrence extraction
+    /// used to misread the forward stamps `[10.0.0.3, 11.0.16.26, ...]`
+    /// as reverse hops; extraction must cut at the *last* occurrence.
+    #[test]
+    fn pinned_seed0_dest_traversed_on_forward_leg() {
+        let sim = Sim::build(SimConfig::tiny(), 0);
+        let src = sim.topo().vp_sites[0].host;
+        assert_eq!(src, Addr::new(11, 7, 128, 4), "pinned topology changed");
+        let dst = Addr::new(11, 0, 16, 26);
+        let r = sim.rr_ping(src, dst, 0).expect("pinned dest answers");
+        assert!(
+            r.slots.iter().filter(|&&s| s == dst).count() >= 2,
+            "pinned case no longer traverses the destination: {:?}",
+            r.slots
+        );
+        let rev = extract_reverse_hops(&r.slots, dst).expect("dest stamped");
+        assert!(
+            !rev.contains(&dst),
+            "reverse hops contain the destination itself: {rev:?}"
+        );
+        assert_eq!(
+            rev,
+            vec![Addr::new(11, 3, 16, 21), Addr::new(11, 7, 128, 1)]
+        );
+    }
+
+    /// Same shape with the duplicate stamps *adjacent* (slots 3 and 4):
+    /// the last-occurrence rule and the adjacent-duplicate fallback must
+    /// agree on the boundary.
+    #[test]
+    fn pinned_seed0_dest_stamps_adjacent_pair() {
+        let sim = Sim::build(SimConfig::tiny(), 0);
+        let src = sim.topo().vp_sites[0].host;
+        let dst = Addr::new(11, 0, 16, 5);
+        let r = sim.rr_ping(src, dst, 0).expect("pinned dest answers");
+        assert_eq!(&r.slots[3..5], &[dst, dst], "pinned slot layout changed");
+        let rev = extract_reverse_hops(&r.slots, dst).expect("dest stamped");
+        assert_eq!(
+            rev,
+            vec![
+                Addr::new(11, 0, 16, 29),
+                Addr::new(11, 3, 16, 17),
+                Addr::new(11, 7, 16, 1),
+                Addr::new(11, 7, 16, 6),
+            ]
+        );
+    }
+
+    /// Seed 0, prefix 2's first host answers RR in Private mode: the
+    /// destination's own address never appears, only a doubled private
+    /// stamp (`10.0.0.9, 10.0.0.9`) at the forward/reply boundary. The
+    /// adjacent-duplicate fallback must find the boundary and return only
+    /// the reply-leg hops.
+    #[test]
+    fn pinned_seed0_private_dest_doubles_stamp_at_boundary() {
+        let sim = Sim::build(SimConfig::tiny(), 0);
+        let src = sim.topo().vp_sites[0].host;
+        let pe = &sim.topo().prefixes[2];
+        let dst = sim.host_addrs(pe.id).next().expect("hosts");
+        let r = sim.rr_ping(src, dst, 0).expect("pinned dest answers");
+        assert!(!r.slots.contains(&dst), "dest must stamp privately here");
+        let dup = Addr::new(10, 0, 0, 9);
+        assert_eq!(&r.slots[3..5], &[dup, dup], "pinned slot layout changed");
+        let rev = extract_reverse_hops(&r.slots, dst).expect("fallback fires");
+        assert_eq!(
+            rev,
+            vec![
+                Addr::new(11, 2, 16, 13),
+                Addr::new(11, 3, 16, 21),
+                Addr::new(11, 7, 128, 1),
+            ]
+        );
+    }
+
+    /// Seed 0, prefix 3's first host: the reply consumes all nine RR
+    /// slots — the RFC 791 cap is reached exactly, never exceeded.
+    #[test]
+    fn pinned_seed0_reply_fills_all_nine_slots() {
+        let sim = Sim::build(SimConfig::tiny(), 0);
+        let src = sim.topo().vp_sites[0].host;
+        let pe = &sim.topo().prefixes[3];
+        let dst = sim.host_addrs(pe.id).next().expect("hosts");
+        let r = sim.rr_ping(src, dst, 0).expect("pinned dest answers");
+        assert_eq!(r.slots.len(), RR_SLOTS);
     }
 }

@@ -307,3 +307,25 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
         }
     }
 }
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeMap<K, V>, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_value(pair))
+                .collect(),
+            other => Err(DeError::expected("array of pairs", other)),
+        }
+    }
+}

@@ -10,8 +10,9 @@
 //! - named-field structs, honouring `#[serde(skip)]` (omitted on
 //!   serialize, `Default::default()` on deserialize);
 //! - newtype and tuple structs (transparent / array encodings);
-//! - enums with unit variants (encoded as the variant-name string) and
-//!   newtype/tuple variants (externally tagged single-key objects).
+//! - enums with unit variants (encoded as the variant-name string),
+//!   newtype/tuple variants (externally tagged single-key objects), and
+//!   struct variants (externally tagged objects of named fields).
 //!
 //! Generics are not supported and produce a compile error naming the type.
 
@@ -47,6 +48,8 @@ enum Variant {
     Unit(String),
     /// Variant name + tuple-payload arity.
     Tuple(String, usize),
+    /// Variant name + named fields (externally tagged object payload).
+    Struct(String, Vec<NamedField>),
 }
 
 enum Item {
@@ -209,7 +212,9 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
                 variants.push(Variant::Tuple(name, arity));
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                panic!("serde shim derive: struct variant `{name}` not supported");
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                variants.push(Variant::Struct(name, fields));
             }
             _ => variants.push(Variant::Unit(name)),
         }
@@ -285,6 +290,39 @@ fn gen_serialize(item: &Item) -> String {
                             binds = binds.join(", ")
                         )
                     }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let pushes: String = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{n}\".to_string(), \
+                                     ::serde::Serialize::to_value({n})));\n",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(inner))])\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -344,7 +382,7 @@ fn gen_deserialize(item: &Item) -> String {
                     Variant::Unit(vn) => Some(format!(
                         "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
                     )),
-                    Variant::Tuple(..) => None,
+                    Variant::Tuple(..) | Variant::Struct(..) => None,
                 })
                 .collect();
             let tagged_arms: String = variants
@@ -368,6 +406,29 @@ fn gen_deserialize(item: &Item) -> String {
                              ({name}::{vn})\", other)),\n\
                              }},\n",
                             elems = elems.join(", ")
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default(),\n", f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(obj, \"{n}\", \"{name}::{vn}\")?)?,\n",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object ({name}::{vn})\", payload))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
                         ))
                     }
                 })
