@@ -24,6 +24,11 @@ cargo test -q --test faults
 echo "== metamorphic suite (release, tests/metamorphic.rs) =="
 cargo test -q --release --test metamorphic
 
+# Telemetry gates: tracing off must be byte-neutral, tracing on must be
+# deterministic across reruns and worker counts (fingerprint equality).
+echo "== telemetry determinism gate (release, tests/metamorphic.rs) =="
+cargo test -q --release --test metamorphic telemetry
+
 # Stitch-trace audit gate: every accepted hop of a standard-scale campaign
 # replays soundly against the oracle — zero Unsound, zero PolicyViolation
 # (revtr-cli exits nonzero otherwise).
@@ -34,13 +39,21 @@ for seed in 1 7 42; do
     | tail -n 1
 done
 
+# Telemetry profile gate: the metrics subcommand must produce a populated
+# per-stage report (it exits nonzero on flag or scale errors).
+echo "== telemetry profile gate (release, smoke scale) =="
+./target/release/revtr-cli metrics --scale smoke | tail -n 3
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
-# The audit crate is the arbiter of everyone else's soundness: it alone is
-# additionally held to no-unwrap (a panicking auditor proves nothing).
-echo "== clippy unwrap gate (crates/audit) =="
+# The audit crate is the arbiter of everyone else's soundness, and the
+# telemetry crate sits inside every hot path: both are additionally held
+# to no-unwrap (a panicking auditor proves nothing; a panicking tracer
+# would violate behaviour-neutrality).
+echo "== clippy unwrap gate (crates/audit, crates/telemetry) =="
 cargo clippy -p revtr-audit --all-targets -- -D warnings -D clippy::unwrap_used
+cargo clippy -p revtr-telemetry --all-targets -- -D warnings -D clippy::unwrap_used
 
 echo "== cargo fmt --check =="
 cargo fmt --check

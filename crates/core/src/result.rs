@@ -173,6 +173,18 @@ pub enum Status {
     Stuck,
 }
 
+impl Status {
+    /// Stable string label (telemetry counter suffixes, report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Complete => "Complete",
+            Status::AbortedInterdomain => "AbortedInterdomain",
+            Status::Unresponsive => "Unresponsive",
+            Status::Stuck => "Stuck",
+        }
+    }
+}
+
 /// Per-measurement statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RevtrStats {

@@ -24,7 +24,7 @@ use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
 use revtr_atlas::{Intersection, SourceAtlas};
 use revtr_netsim::hash::mix3;
 use revtr_netsim::{Addr, AsId, PrefixId, Sim};
-use revtr_probing::{ProbeLoss, Prober, RrProvenance};
+use revtr_probing::{ProbeLoss, Prober, RequestScope, RrProvenance, Snapshot, SpanToken};
 use revtr_vpselect::{IngressDb, IngressQueue};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -65,6 +65,14 @@ struct SymmetryDecision {
 /// the next (less close) VP anyway. Bounded so rr_step always terminates
 /// even under total loss.
 const TRANSIENT_STALL_BUDGET: u32 = 2;
+
+/// An open telemetry stage: the span token plus the thread-local probe
+/// snapshot at entry, so the exit can attach this stage's exact probe
+/// delta (per-thread, hence worker-count-invariant).
+struct StageStart {
+    tok: Option<SpanToken>,
+    snap: Snapshot,
+}
 
 /// The orchestrating system (Appx. A): sources, atlases, vantage points,
 /// and the measurement engine. Thread-safe; campaigns call
@@ -394,16 +402,71 @@ impl<'s> RevtrSystem<'s> {
         }
     }
 
+    /// Open a telemetry stage span (no-op on an inactive scope — the
+    /// timestamp and probe snapshot are not even computed then, keeping
+    /// the disabled path free).
+    fn stage_enter(&self, req: &mut RequestScope, stage: &'static str) -> StageStart {
+        if !req.active() {
+            return StageStart {
+                tok: None,
+                snap: Snapshot::default(),
+            };
+        }
+        let tok = req.enter(stage, self.prober.clock().thread_ms());
+        StageStart {
+            tok,
+            snap: self.prober.counters().thread_snapshot(),
+        }
+    }
+
+    /// Close a telemetry stage span, attaching this thread's probe delta
+    /// (option probes, packets, retries, fault losses) plus any
+    /// stage-specific fields.
+    fn stage_exit(&self, req: &mut RequestScope, st: StageStart, extra: &[(&'static str, u64)]) {
+        if st.tok.is_none() {
+            return;
+        }
+        let d = self.prober.counters().thread_snapshot().since(&st.snap);
+        let mut fields = vec![
+            ("probes", d.option_probes()),
+            ("pkts", d.all_packets()),
+            ("retries", d.retries),
+            ("lost", d.lost),
+        ];
+        fields.extend_from_slice(extra);
+        req.exit(st.tok, self.prober.clock().thread_ms(), &fields);
+    }
+
     /// The record-route step: direct RR from the source, then spoofed
     /// batches. On success returns the newly discovered reverse hops, the
     /// provenance of the revealing probe (all hops of one return come from
-    /// one reply), and whether that probe was spoofed.
+    /// one reply), and whether that probe was spoofed. Wraps
+    /// [`RevtrSystem::rr_step_inner`] in an `rr_step` telemetry span.
     fn rr_step(
         &self,
         cur: Addr,
         src: Addr,
         path_set: &HashSet<Addr>,
         stats: &mut RevtrStats,
+        req: &mut RequestScope,
+    ) -> Option<(Vec<Addr>, RrProvenance, bool)> {
+        let st = self.stage_enter(req, "rr_step");
+        let out = self.rr_step_inner(cur, src, path_set, stats, req);
+        let (revealed, spoofed) = match &out {
+            Some((v, _, sp)) => (v.len() as u64, u64::from(*sp)),
+            None => (0, 0),
+        };
+        self.stage_exit(req, st, &[("revealed", revealed), ("spoofed", spoofed)]);
+        out
+    }
+
+    fn rr_step_inner(
+        &self,
+        cur: Addr,
+        src: Addr,
+        path_set: &HashSet<Addr>,
+        stats: &mut RevtrStats,
+        req: &mut RequestScope,
     ) -> Option<(Vec<Addr>, RrProvenance, bool)> {
         let novel = |hops: &[Addr]| -> Vec<Addr> {
             let mut out = Vec::new();
@@ -417,18 +480,23 @@ impl<'s> RevtrSystem<'s> {
         };
 
         // Direct (non-spoofed) RR ping from the source.
+        let direct = self.stage_enter(req, "rr_direct");
         if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
             if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
                 let new = novel(&rev);
                 if !new.is_empty() {
+                    self.stage_exit(req, direct, &[("hit", 1)]);
                     return Some((new, prov, false));
                 }
             }
         }
+        self.stage_exit(req, direct, &[("hit", 0)]);
 
         // Spoofed batches from the VP plan. Queues can legitimately be
         // empty (an ingress with no in-range VPs): they must be excluded
         // up front or the batch composer below would index past the end.
+        let spoof_span = self.stage_enter(req, "rr_spoofed");
+        let batches0 = stats.batches;
         let queues = self.vp_queues(cur);
         let mut cursors: Vec<usize> = vec![0; queues.len()];
         let mut stalls: Vec<u32> = vec![0; queues.len()];
@@ -470,6 +538,11 @@ impl<'s> RevtrSystem<'s> {
                 }
             }
             if let Some(prov) = best_prov.filter(|_| !best.is_empty()) {
+                self.stage_exit(
+                    req,
+                    spoof_span,
+                    &[("hit", 1), ("batches", u64::from(stats.batches - batches0))],
+                );
                 return Some((best, prov, true));
             }
             // Nothing came back. A queue whose probe was *transiently*
@@ -489,6 +562,11 @@ impl<'s> RevtrSystem<'s> {
             }
             active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
         }
+        self.stage_exit(
+            req,
+            spoof_span,
+            &[("hit", 0), ("batches", u64::from(stats.batches - batches0))],
+        );
         None
     }
 
@@ -607,29 +685,42 @@ impl<'s> RevtrSystem<'s> {
         let mut stats = RevtrStats::default();
         let mut trace = StitchTrace::default();
         let src_prefix = self.sim.host_prefix(src);
+        // Telemetry request scope (inert unless the prober carries an
+        // enabled handle). The origin is this thread's virtual time, so
+        // span offsets are invariant to concurrent workers' advances.
+        let mut req =
+            self.prober
+                .telemetry()
+                .request(dst.0, src.0, self.prober.clock().thread_ms());
 
-        let finish =
-            |status: Status, hops: Vec<RevtrHop>, mut stats: RevtrStats, trace: StitchTrace| {
-                stats.duration_s = self.prober.clock().now_s() - t0;
-                stats.probes = ProbeDelta::from_snapshot(
-                    &self.prober.counters().thread_snapshot().since(&snap0),
-                );
-                let mut r = RevtrResult {
-                    dst,
-                    src,
-                    status,
-                    hops,
-                    stats,
-                    trace,
-                };
-                self.flag_suspicious(&mut r);
-                r
+        let finish = |status: Status,
+                      hops: Vec<RevtrHop>,
+                      mut stats: RevtrStats,
+                      trace: StitchTrace,
+                      req: &mut RequestScope| {
+            stats.duration_s = self.prober.clock().now_s() - t0;
+            stats.probes =
+                ProbeDelta::from_snapshot(&self.prober.counters().thread_snapshot().since(&snap0));
+            req.finish(status.label(), self.prober.clock().thread_ms());
+            let mut r = RevtrResult {
+                dst,
+                src,
+                status,
+                hops,
+                stats,
+                trace,
             };
+            self.flag_suspicious(&mut r);
+            r
+        };
 
         // The destination must answer something.
-        if self.prober.ping(src, dst).is_none() {
+        let st = self.stage_enter(&mut req, "destination_probe");
+        let answered = self.prober.ping(src, dst).is_some();
+        self.stage_exit(&mut req, st, &[("answered", u64::from(answered))]);
+        if !answered {
             trace.end = Some(StitchEnd::Unresponsive);
-            return finish(Status::Unresponsive, Vec::new(), stats, trace);
+            return finish(Status::Unresponsive, Vec::new(), stats, trace, &mut req);
         }
 
         let mut hops = vec![RevtrHop {
@@ -644,10 +735,11 @@ impl<'s> RevtrSystem<'s> {
         for _ in 0..self.cfg.max_path_hops {
             if self.reached(cur, src, src_prefix) {
                 trace.end = Some(StitchEnd::ReachedSource);
-                return finish(Status::Complete, hops, stats, trace);
+                return finish(Status::Complete, hops, stats, trace, &mut req);
             }
 
             // 1. Atlas intersection.
+            let atlas_span = self.stage_enter(&mut req, "atlas_intersection");
             if let Some(inter) = self.lookup_intersection(src, &atlas, cur) {
                 *self.usage.lock().entry((src, inter.trace)).or_insert(0) += 1;
                 stats.intersected_trace = Some(inter.trace);
@@ -683,12 +775,18 @@ impl<'s> RevtrSystem<'s> {
                         suspicious_gap_before: false,
                     });
                 }
+                self.stage_exit(
+                    &mut req,
+                    atlas_span,
+                    &[("hit", 1), ("atlas_hops", u64::from(stats.atlas_hops))],
+                );
                 trace.end = Some(StitchEnd::AtlasSuffix);
-                return finish(Status::Complete, hops, stats, trace);
+                return finish(Status::Complete, hops, stats, trace, &mut req);
             }
+            self.stage_exit(&mut req, atlas_span, &[("hit", 0)]);
 
             // 2. Record route.
-            let rr_found = self.rr_step(cur, src, &path_set, &mut stats);
+            let rr_found = self.rr_step(cur, src, &path_set, &mut stats, &mut req);
             if self.cfg.verify_dbr {
                 if let Some((rev, _, _)) = rr_found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
                     // Appx. E optional mode: re-probe the first revealed hop
@@ -700,8 +798,9 @@ impl<'s> RevtrSystem<'s> {
                     // reconverge within a hop or two.
                     if let Some(first) = rev.first().copied().filter(|a| !a.is_private()) {
                         let expected = rev[1];
+                        let vspan = self.stage_enter(&mut req, "rr_verify");
                         let verify = self
-                            .rr_step(first, src, &path_set, &mut stats)
+                            .rr_step(first, src, &path_set, &mut stats, &mut req)
                             .map(|(v, _, _)| v)
                             .unwrap_or_default();
                         if let Some(&h0) = verify.first() {
@@ -709,6 +808,11 @@ impl<'s> RevtrSystem<'s> {
                                 stats.dbr_violation_detected = true;
                             }
                         }
+                        self.stage_exit(
+                            &mut req,
+                            vspan,
+                            &[("violation", u64::from(stats.dbr_violation_detected))],
+                        );
                     }
                 }
             }
@@ -740,7 +844,10 @@ impl<'s> RevtrSystem<'s> {
 
             // 3. Timestamp (revtr 1.0).
             if self.cfg.use_timestamp {
-                if let Some(adj) = self.ts_step(cur, src, &path_set) {
+                let ts_span = self.stage_enter(&mut req, "ts_step");
+                let adj = self.ts_step(cur, src, &path_set);
+                self.stage_exit(&mut req, ts_span, &[("found", u64::from(adj.is_some()))]);
+                if let Some(adj) = adj {
                     path_set.insert(adj);
                     trace.entries.push(Evidence::Timestamp { tested_from: cur });
                     hops.push(RevtrHop {
@@ -754,13 +861,30 @@ impl<'s> RevtrSystem<'s> {
             }
 
             // 4. Assume symmetry / abort.
-            let Some(d) = self.symmetry_step(cur, src) else {
+            let sym_span = self.stage_enter(&mut req, "assume_symmetry");
+            let sym = self.symmetry_step(cur, src);
+            let adopted = sym.as_ref().is_some_and(|d| {
+                !(path_set.contains(&d.penult)
+                    || d.interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly)
+            });
+            self.stage_exit(
+                &mut req,
+                sym_span,
+                &[
+                    ("adopted", u64::from(adopted)),
+                    (
+                        "interdomain",
+                        sym.as_ref().map_or(0, |d| u64::from(d.interdomain)),
+                    ),
+                ],
+            );
+            let Some(d) = sym else {
                 trace.end = Some(StitchEnd::Stuck);
-                return finish(Status::Stuck, hops, stats, trace);
+                return finish(Status::Stuck, hops, stats, trace, &mut req);
             };
             if path_set.contains(&d.penult) {
                 trace.end = Some(StitchEnd::Stuck);
-                return finish(Status::Stuck, hops, stats, trace);
+                return finish(Status::Stuck, hops, stats, trace, &mut req);
             }
             if d.interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly {
                 trace.end = Some(StitchEnd::AbortInterdomain {
@@ -769,7 +893,7 @@ impl<'s> RevtrSystem<'s> {
                     cur_as: d.cur_as,
                     penult_as: d.penult_as,
                 });
-                return finish(Status::AbortedInterdomain, hops, stats, trace);
+                return finish(Status::AbortedInterdomain, hops, stats, trace, &mut req);
             }
             stats.assumed_symmetric += 1;
             if d.interdomain {
@@ -792,7 +916,7 @@ impl<'s> RevtrSystem<'s> {
             cur = d.penult;
         }
         trace.end = Some(StitchEnd::HopBudget);
-        finish(Status::Stuck, hops, stats, trace)
+        finish(Status::Stuck, hops, stats, trace, &mut req)
     }
 
     /// Flag suspicious AS gaps (§5.2.2): a small AS apparently adjacent to

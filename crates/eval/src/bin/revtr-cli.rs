@@ -6,13 +6,18 @@
 //! revtr-cli reproduce [--scale smoke|standard] [--out DIR]
 //! revtr-cli robustness [--scale smoke|standard] [--out DIR]
 //! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]
+//! revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]
 //! ```
+//!
+//! Every subcommand validates its flags against an allow-list
+//! ([`revtr_eval::cliargs`]); unknown flags are a usage error (exit 2)
+//! rather than being silently ignored.
 
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
-use revtr_eval::context::EvalScale;
-use revtr_eval::{audit, reproduce, robustness};
-use revtr_netsim::{Addr, AsTier, Sim, SimConfig};
+use revtr_eval::cliargs::{self, Flags};
+use revtr_eval::{audit, metrics, reproduce, robustness};
+use revtr_netsim::{Addr, AsTier, Sim};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
 use std::collections::HashMap;
@@ -25,40 +30,22 @@ fn usage() -> ExitCode {
          revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst ADDR|auto] [--src ADDR|auto]\n  \
          revtr-cli reproduce [--scale smoke|standard] [--out DIR]\n  \
          revtr-cli robustness [--scale smoke|standard] [--out DIR]\n  \
-         revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]"
+         revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]\n  \
+         revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]"
     );
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
-    let mut out = HashMap::new();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        out.insert(key.to_string(), value.clone());
-    }
-    Some(out)
+/// Report a flag-validation error the usage way: message plus exit 2.
+fn flag_err(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    usage()
 }
 
-fn build_sim(flags: &HashMap<String, String>) -> Option<Sim> {
-    let era = flags.get("era").map(|s| s.as_str()).unwrap_or("tiny");
-    let cfg = match era {
-        "tiny" => SimConfig::tiny(),
-        "2016" => SimConfig::era_2016(),
-        "2020" => SimConfig::era_2020(),
-        other => {
-            eprintln!("unknown era {other:?}");
-            return None;
-        }
-    };
-    let seed: u64 = flags
-        .get("seed")
-        .map(|s| s.parse())
-        .transpose()
-        .ok()?
-        .unwrap_or(1);
-    Some(Sim::build(cfg, seed))
+fn build_sim(flags: &Flags) -> Result<Sim, String> {
+    let cfg = flags.era()?;
+    let seed = flags.seed()?.unwrap_or(1);
+    Ok(Sim::build(cfg, seed))
 }
 
 fn parse_addr(s: &str) -> Option<Addr> {
@@ -72,9 +59,10 @@ fn parse_addr(s: &str) -> Option<Addr> {
     Some(Addr::new(parts[0], parts[1], parts[2], parts[3]))
 }
 
-fn cmd_topology(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(sim) = build_sim(flags) else {
-        return ExitCode::from(2);
+fn cmd_topology(flags: &Flags) -> ExitCode {
+    let sim = match build_sim(flags) {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
     };
     let topo = sim.topo();
     println!("{sim:?}");
@@ -104,22 +92,20 @@ fn cmd_topology(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(sim) = build_sim(flags) else {
-        return ExitCode::from(2);
+fn cmd_measure(flags: &Flags) -> ExitCode {
+    let sim = match build_sim(flags) {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
     };
     let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
-    let src = match flags.get("src").map(|s| s.as_str()).unwrap_or("auto") {
+    let src = match flags.get("src").unwrap_or("auto") {
         "auto" => vps[0],
         s => match parse_addr(s) {
             Some(a) => a,
-            None => {
-                eprintln!("bad --src address");
-                return ExitCode::from(2);
-            }
+            None => return flag_err("bad --src address"),
         },
     };
-    let dst = match flags.get("dst").map(|s| s.as_str()).unwrap_or("auto") {
+    let dst = match flags.get("dst").unwrap_or("auto") {
         "auto" => {
             let Some(d) = sim.topo().prefixes.iter().find_map(|pe| {
                 sim.host_addrs(pe.id)
@@ -132,10 +118,7 @@ fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
         }
         s => match parse_addr(s) {
             Some(a) => a,
-            None => {
-                eprintln!("bad --dst address");
-                return ExitCode::from(2);
-            }
+            None => return flag_err("bad --dst address"),
         },
     };
 
@@ -144,13 +127,10 @@ fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
     let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
     let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
     let pool = select_atlas_probes(&sim, 200, 7);
-    let mut cfg = match flags.get("engine").map(|s| s.as_str()).unwrap_or("2") {
+    let mut cfg = match flags.get("engine").unwrap_or("2") {
         "1" => EngineConfig::revtr1(),
         "2" => EngineConfig::revtr2(),
-        other => {
-            eprintln!("unknown engine {other:?} (use 1 or 2)");
-            return ExitCode::from(2);
-        }
+        other => return flag_err(&format!("unknown engine {other:?} (use 1 or 2)")),
     };
     cfg.atlas_size = 100;
     let system = RevtrSystem::new(prober, cfg, vps, ingress, pool);
@@ -187,20 +167,16 @@ fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_reproduce(flags: &HashMap<String, String>) -> ExitCode {
-    let scale = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
-        "smoke" => EvalScale::smoke(),
-        "standard" => EvalScale::standard(),
-        other => {
-            eprintln!("unknown scale {other:?}");
-            return ExitCode::from(2);
-        }
+fn cmd_reproduce(flags: &Flags) -> ExitCode {
+    let scale = match flags.scale() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
     };
     let rep = reproduce::run(scale);
     println!("{}", rep.render());
-    if let Some(dir) = flags.get("out") {
-        match rep.save_tsvs(std::path::Path::new(dir)) {
-            Ok(()) => eprintln!("TSVs written to {dir}"),
+    if let Some(dir) = flags.out_dir() {
+        match rep.save_tsvs(dir) {
+            Ok(()) => eprintln!("TSVs written to {}", dir.display()),
             Err(e) => {
                 eprintln!("could not write TSVs: {e}");
                 return ExitCode::FAILURE;
@@ -210,19 +186,15 @@ fn cmd_reproduce(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_robustness(flags: &HashMap<String, String>) -> ExitCode {
-    let report = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
+fn cmd_robustness(flags: &Flags) -> ExitCode {
+    let report = match flags.scale_name() {
         "smoke" => robustness::smoke(),
         "standard" => robustness::standard(),
-        other => {
-            eprintln!("unknown scale {other:?}");
-            return ExitCode::from(2);
-        }
+        other => return flag_err(&format!("unknown scale {other:?}")),
     };
     println!("{}", report.table().render());
     println!("{}", report.figure().render());
-    if let Some(dir) = flags.get("out") {
-        let dir = std::path::Path::new(dir);
+    if let Some(dir) = flags.out_dir() {
         let saved = report
             .table()
             .save_tsv(dir, "robustness")
@@ -238,24 +210,17 @@ fn cmd_robustness(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
-    let seed = match flags.get("seed").map(|s| s.parse::<u64>()) {
-        None => None,
-        Some(Ok(n)) => Some(n),
-        Some(Err(_)) => {
-            eprintln!("--seed must be an unsigned integer");
-            return ExitCode::from(2);
-        }
+fn cmd_audit(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
     };
-    let report = match flags.get("scale").map(|s| s.as_str()).unwrap_or("smoke") {
+    let report = match flags.scale_name() {
         "smoke" => seed.map(audit::smoke_seeded).unwrap_or_else(audit::smoke),
         "standard" => seed
             .map(audit::standard_seeded)
             .unwrap_or_else(audit::standard),
-        other => {
-            eprintln!("unknown scale {other:?}");
-            return ExitCode::from(2);
-        }
+        other => return flag_err(&format!("unknown scale {other:?}")),
     };
     if let Some(s) = seed {
         println!("(master seed {s})");
@@ -265,8 +230,7 @@ fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
         "audited {} measurements, {} with failing verdicts",
         report.summary.results, report.summary.dirty_results
     );
-    if let Some(dir) = flags.get("out") {
-        let dir = std::path::Path::new(dir);
+    if let Some(dir) = flags.out_dir() {
         match report.table().save_tsv(dir, "audit") {
             Ok(()) => eprintln!("TSV written to {}", dir.display()),
             Err(e) => {
@@ -291,13 +255,60 @@ fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
+fn cmd_metrics(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let report = match flags.scale_name() {
+        "smoke" => seed
+            .map(metrics::smoke_seeded)
+            .unwrap_or_else(metrics::smoke),
+        "standard" => seed
+            .map(metrics::standard_seeded)
+            .unwrap_or_else(metrics::standard),
+        other => return flag_err(&format!("unknown scale {other:?}")),
+    };
+    if let Some(s) = seed {
+        println!("(master seed {s})");
+    }
+    println!("{}", report.render());
+    if let Some(dir) = flags.out_dir() {
+        match report.save_tsvs(dir) {
+            Ok(()) => eprintln!("TSVs written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("could not write TSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The flags each subcommand accepts; anything else is a usage error.
+fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "topology" => &["era", "seed"],
+        "measure" => &["era", "seed", "engine", "dst", "src"],
+        "reproduce" => &["scale", "out"],
+        "robustness" => &["scale", "out"],
+        "audit" => &["scale", "seed", "out"],
+        "metrics" => &["scale", "seed", "out"],
+        _ => return None,
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    let Some(flags) = parse_flags(rest) else {
+    let Some(allowed) = allowed_flags(cmd) else {
         return usage();
+    };
+    let flags = match cliargs::parse(rest, allowed) {
+        Ok(f) => f,
+        Err(e) => return flag_err(&e),
     };
     match cmd.as_str() {
         "topology" => cmd_topology(&flags),
@@ -305,6 +316,7 @@ fn main() -> ExitCode {
         "reproduce" => cmd_reproduce(&flags),
         "robustness" => cmd_robustness(&flags),
         "audit" => cmd_audit(&flags),
+        "metrics" => cmd_metrics(&flags),
         _ => usage(),
     }
 }

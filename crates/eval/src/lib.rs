@@ -13,9 +13,11 @@ pub mod as_graph;
 pub mod asymmetry;
 pub mod atlas_study;
 pub mod audit;
+pub mod cliargs;
 pub mod context;
 pub mod dbr_violations;
 pub mod ip2as_ablation;
+pub mod metrics;
 pub mod render;
 pub mod reproduce;
 pub mod responsiveness;

@@ -1,0 +1,75 @@
+//! `revtr-cli` flag-handling contract: every subcommand validates its
+//! flags against its allow-list and exits 2 on anything unexpected.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_revtr-cli"))
+        .args(args)
+        .output()
+        .expect("spawn revtr-cli")
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    run(args).status.code().expect("exit code")
+}
+
+const COMMANDS: [&str; 6] = [
+    "topology",
+    "measure",
+    "reproduce",
+    "robustness",
+    "audit",
+    "metrics",
+];
+
+#[test]
+fn every_subcommand_rejects_unknown_flags() {
+    for cmd in COMMANDS {
+        let out = run(&[cmd, "--bogus", "1"]);
+        assert_eq!(out.status.code(), Some(2), "{cmd} accepted an unknown flag");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag --bogus"),
+            "{cmd} stderr missing diagnostic: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn every_subcommand_rejects_a_flag_missing_its_value() {
+    for cmd in COMMANDS {
+        // The first allowed flag of each command, valueless.
+        let flag = match cmd {
+            "topology" | "measure" => "--era",
+            _ => "--scale",
+        };
+        assert_eq!(exit_code(&[cmd, flag]), 2, "{cmd} {flag} without value");
+    }
+}
+
+#[test]
+fn bad_flag_values_exit_two() {
+    assert_eq!(exit_code(&["topology", "--era", "1999"]), 2);
+    assert_eq!(exit_code(&["topology", "--seed", "abc"]), 2);
+    assert_eq!(exit_code(&["reproduce", "--scale", "huge"]), 2);
+    assert_eq!(exit_code(&["audit", "--seed", "-1"]), 2);
+    assert_eq!(exit_code(&["metrics", "--scale", "huge"]), 2);
+    assert_eq!(exit_code(&["measure", "--engine", "3"]), 2);
+}
+
+#[test]
+fn no_arguments_or_unknown_command_prints_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    assert_eq!(exit_code(&["frobnicate"]), 2);
+}
+
+#[test]
+fn topology_runs_clean_with_valid_flags() {
+    let out = run(&["topology", "--era", "tiny", "--seed", "3"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VP sites"), "stdout: {stdout}");
+}

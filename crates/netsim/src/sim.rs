@@ -153,6 +153,9 @@ pub struct Sim {
     addr_to_link: HashMap<Addr, LinkId>,
     /// Vantage point host addresses (always responsive: our own machines).
     vp_hosts: std::collections::HashSet<Addr>,
+    /// Optional telemetry handle for fault-event counters (disabled-by-
+    /// absence; set once via [`Sim::set_telemetry`]).
+    telemetry: std::sync::OnceLock<revtr_telemetry::Telemetry>,
 }
 
 impl Sim {
@@ -192,6 +195,21 @@ impl Sim {
             route_computes: AtomicU64::new(0),
             addr_to_link,
             vp_hosts,
+            telemetry: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Attach a telemetry handle for fault-event counters. First caller
+    /// wins; later calls are ignored (the handle is shared campaign-wide,
+    /// so there is exactly one per run).
+    pub fn set_telemetry(&self, telemetry: revtr_telemetry::Telemetry) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    /// Count one fault event in the attached telemetry, if any.
+    fn tele_fault(&self, name: &'static str) {
+        if let Some(t) = self.telemetry.get() {
+            t.counter_add(name, 1);
         }
     }
 
@@ -488,6 +506,7 @@ impl Sim {
                 if let Some(v) = via {
                     if let Some(now) = maint_now {
                         if self.faults.link_down(v, now) {
+                            self.tele_fault("netsim.fault.link_down_drop");
                             return None; // final link under maintenance
                         }
                     }
@@ -578,6 +597,7 @@ impl Sim {
 
             if let Some(now) = maint_now {
                 if self.faults.link_down(next_link, now) {
+                    self.tele_fault("netsim.fault.link_down_drop");
                     return None; // packet silently dropped on a down link
                 }
             }

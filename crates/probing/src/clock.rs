@@ -16,6 +16,8 @@
 //! bit-identical points).
 
 use revtr_netsim::{CachePadded, Sim};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Spoofed-probe batch collection timeout, in virtual milliseconds
@@ -58,18 +60,39 @@ thread_local! {
         static NEXT: AtomicUsize = AtomicUsize::new(0);
         NEXT.fetch_add(1, Ordering::Relaxed) % N_SLOTS
     };
+
+    /// This thread's own advances per `Clock` instance (keyed by unique
+    /// id, mirroring `Counters`' shadow). A measurement runs synchronously
+    /// on one thread, so diffing `thread_ms` around it yields a duration
+    /// independent of what concurrent workers advance — unlike `now_ms`,
+    /// which sums every thread and so depends on the worker count.
+    static TIME_SHADOW: RefCell<HashMap<u64, f64>> = RefCell::new(HashMap::new());
 }
 
+/// Unique-id source for `Clock` instances (ids are never reused, so a
+/// stale shadow entry can't alias a new instance).
+static NEXT_CLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A shareable virtual clock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Clock {
+    id: u64,
     slots: [CachePadded<TimeSlot>; N_SLOTS],
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::new()
+    }
 }
 
 impl Clock {
     /// A clock at zero.
     pub fn new() -> Clock {
-        Clock::default()
+        Clock {
+            id: NEXT_CLOCK_ID.fetch_add(1, Ordering::Relaxed),
+            slots: Default::default(),
+        }
     }
 
     /// Total virtual milliseconds elapsed (sum over all threads' advances;
@@ -86,10 +109,20 @@ impl Clock {
         self.now_ms() / 1000.0
     }
 
+    /// Virtual milliseconds advanced *by the calling thread* on this
+    /// clock. Telemetry spans diff this around a measurement: the delta is
+    /// exactly the virtual time that measurement charged, regardless of
+    /// concurrent workers (see `Counters::thread_snapshot` for the same
+    /// attribution argument).
+    pub fn thread_ms(&self) -> f64 {
+        TIME_SHADOW.with(|s| s.borrow().get(&self.id).copied().unwrap_or(0.0))
+    }
+
     /// Advance the clock; flushes churn time into `sim` once this thread's
     /// slot has accumulated enough.
     pub fn advance(&self, ms: f64, sim: &Sim) {
         debug_assert!(ms >= 0.0, "time flows forward");
+        TIME_SHADOW.with(|s| *s.borrow_mut().entry(self.id).or_insert(0.0) += ms);
         let slot = &self.slots[SLOT_IDX.with(|i| *i)];
         add_f64(&slot.total_ms, ms);
         if add_f64(&slot.pending_ms, ms) >= FLUSH_THRESHOLD_MS {
@@ -135,6 +168,29 @@ mod tests {
         let clock = Clock::new();
         clock.advance(120_000.0, &sim);
         assert!(sim.now_hours() > 0.0);
+    }
+
+    #[test]
+    fn thread_ms_attributes_per_thread() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let clock = Clock::new();
+        clock.advance(10.0, &sim);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(clock.thread_ms(), 0.0, "fresh thread starts at zero");
+                    clock.advance(2.5, &sim);
+                    clock.advance(2.5, &sim);
+                    assert_eq!(clock.thread_ms(), 5.0);
+                });
+            }
+        });
+        // Global time sums everyone; this thread's shadow only its own.
+        assert_eq!(clock.now_ms(), 10.0 + 4.0 * 5.0);
+        assert_eq!(clock.thread_ms(), 10.0);
+        // Instances don't share shadows.
+        let other = Clock::new();
+        assert_eq!(other.thread_ms(), 0.0);
     }
 
     #[test]

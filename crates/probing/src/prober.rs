@@ -20,6 +20,7 @@ use crate::cache::{CachedRr, MeasurementCache, RrKey};
 use crate::clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
 use crate::counters::{Counters, ProbeKind};
 use revtr_netsim::{Addr, EchoReply, RrReply, Sim, TraceResult, TsReply};
+use revtr_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -140,6 +141,7 @@ pub struct Prober<'s> {
     use_cache: bool,
     retry: RetryPolicy,
     nonce: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl<'s> Prober<'s> {
@@ -153,6 +155,7 @@ impl<'s> Prober<'s> {
             use_cache: true,
             retry: RetryPolicy::default(),
             nonce: Arc::new(AtomicU64::new(1)),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -168,6 +171,16 @@ impl<'s> Prober<'s> {
     pub fn with_retry_policy(&self, retry: RetryPolicy) -> Prober<'s> {
         let mut p = self.clone();
         p.retry = retry;
+        p
+    }
+
+    /// Same shared state (counters, clock, cache), with the given
+    /// telemetry handle attached. The default handle is
+    /// [`Telemetry::disabled`], under which every instrumentation point
+    /// is a single-branch no-op.
+    pub fn with_telemetry(&self, telemetry: Telemetry) -> Prober<'s> {
+        let mut p = self.clone();
+        p.telemetry = telemetry;
         p
     }
 
@@ -194,6 +207,17 @@ impl<'s> Prober<'s> {
     /// The active retry policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// The attached telemetry handle (disabled unless set via
+    /// [`Prober::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Count one fault-attributed probe loss in telemetry.
+    fn tele_lost(&self) {
+        self.telemetry.counter_add("probing.fault_lost", 1);
     }
 
     fn next_nonce(&self) -> u64 {
@@ -246,6 +270,7 @@ impl<'s> Prober<'s> {
     /// the retry.
     fn charge_retry(&self, attempt: u32) {
         self.counters.bump(ProbeKind::Retries);
+        self.telemetry.counter_add("probing.retries", 1);
         if self.retry.backoff_ms > 0.0 {
             self.clock
                 .advance(self.retry.backoff_ms * attempt as f64, self.sim);
@@ -263,6 +288,7 @@ impl<'s> Prober<'s> {
             self.counters.bump(ProbeKind::Ping);
             if self.fault_lost(None, dst) {
                 self.counters.bump(ProbeKind::Lost);
+                self.tele_lost();
                 self.charge(None);
                 continue;
             }
@@ -322,6 +348,7 @@ impl<'s> Prober<'s> {
             self.counters.bump(ProbeKind::Rr);
             if self.fault_lost(None, dst) {
                 self.counters.bump(ProbeKind::Lost);
+                self.tele_lost();
                 self.charge(None);
                 continue;
             }
@@ -354,6 +381,7 @@ impl<'s> Prober<'s> {
             };
             return r.map(|x| (x, prov)).ok_or(ProbeLoss::Unanswered);
         }
+        self.telemetry.counter_add("probing.transient_exhausted", 1);
         Err(ProbeLoss::Transient)
     }
 
@@ -368,6 +396,7 @@ impl<'s> Prober<'s> {
             self.counters.bump(ProbeKind::AtlasRr);
             if self.fault_lost(spoofed.then_some(sender), dst) {
                 self.counters.bump(ProbeKind::Lost);
+                self.tele_lost();
                 self.charge(None);
                 continue;
             }
@@ -420,12 +449,20 @@ impl<'s> Prober<'s> {
             }
             pending.push(i);
         }
+        if self.telemetry.is_enabled() && n > 0 {
+            self.telemetry.counter_add("probing.batches", 1);
+            self.telemetry.record("probing.batch.pairs", n as u64);
+            self.telemetry
+                .counter_add("probing.batch.cached_pairs", (n - pending.len()) as u64);
+        }
         for round in 0..self.retry.batch_attempts.max(1) {
             if pending.is_empty() {
                 break;
             }
             if round > 0 {
                 self.counters.add(ProbeKind::Retries, pending.len() as u64);
+                self.telemetry
+                    .counter_add("probing.retries", pending.len() as u64);
             }
             let mut still_pending = Vec::new();
             for &i in &pending {
@@ -433,6 +470,7 @@ impl<'s> Prober<'s> {
                 self.counters.bump(ProbeKind::SpoofRr);
                 if self.fault_lost(Some(vp), dst) {
                     self.counters.bump(ProbeKind::Lost);
+                    self.tele_lost();
                     out.transient[i] = true;
                     still_pending.push(i);
                     continue;
@@ -473,6 +511,12 @@ impl<'s> Prober<'s> {
             self.clock.advance(SPOOF_BATCH_TIMEOUT_MS, self.sim);
             pending = still_pending;
         }
+        if self.telemetry.is_enabled() && n > 0 {
+            self.telemetry
+                .record("probing.batch.rounds", u64::from(out.timeouts));
+            self.telemetry
+                .counter_add("probing.batch.timeouts", u64::from(out.timeouts));
+        }
         out
     }
 
@@ -499,6 +543,7 @@ impl<'s> Prober<'s> {
             self.counters.bump(ProbeKind::Ts);
             if self.fault_lost(None, dst) {
                 self.counters.bump(ProbeKind::Lost);
+                self.tele_lost();
                 self.charge(None);
                 continue;
             }
@@ -508,6 +553,7 @@ impl<'s> Prober<'s> {
             self.charge(r.as_ref().map(|x| x.rtt_ms));
             return r.ok_or(ProbeLoss::Unanswered);
         }
+        self.telemetry.counter_add("probing.transient_exhausted", 1);
         Err(ProbeLoss::Transient)
     }
 
@@ -523,6 +569,10 @@ impl<'s> Prober<'s> {
             return Vec::new();
         }
         let n = probes.len();
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("probing.ts_batches", 1);
+            self.telemetry.record("probing.ts_batch.pairs", n as u64);
+        }
         let mut out: Vec<Option<TsReply>> = vec![None; n];
         let mut pending: Vec<usize> = (0..n).collect();
         for round in 0..self.retry.batch_attempts.max(1) {
@@ -531,6 +581,8 @@ impl<'s> Prober<'s> {
             }
             if round > 0 {
                 self.counters.add(ProbeKind::Retries, pending.len() as u64);
+                self.telemetry
+                    .counter_add("probing.retries", pending.len() as u64);
             }
             let mut still_pending = Vec::new();
             for &i in &pending {
@@ -538,6 +590,7 @@ impl<'s> Prober<'s> {
                 self.counters.bump(ProbeKind::SpoofTs);
                 if self.fault_lost(Some(*vp), *dst) {
                     self.counters.bump(ProbeKind::Lost);
+                    self.tele_lost();
                     still_pending.push(i);
                     continue;
                 }
@@ -578,6 +631,7 @@ impl<'s> Prober<'s> {
             self.counters.bump(ProbeKind::Traceroutes);
             if self.fault_lost(None, dst) {
                 self.counters.bump(ProbeKind::Lost);
+                self.tele_lost();
                 self.clock.advance(TRACEROUTE_TIMEOUT_MS, self.sim);
                 continue;
             }

@@ -168,7 +168,17 @@ impl<'s> RevtrService<'s> {
         src: Addr,
         opts: RequestOptions,
     ) -> Result<ServedRequest, ServiceError> {
-        let permit = self.users.admit(key, src, self.system.sim().now_hours())?;
+        let tele = self.system.prober().telemetry();
+        let permit = match self.users.admit(key, src, self.system.sim().now_hours()) {
+            Ok(p) => {
+                tele.counter_add("service.request.admitted", 1);
+                p
+            }
+            Err(e) => {
+                tele.counter_add("service.request.rejected", 1);
+                return Err(e.into());
+            }
+        };
         let reverse = {
             let result = self.system.measure(dst, src);
             match (
@@ -216,6 +226,12 @@ impl<'s> RevtrService<'s> {
             drop(permit);
         }
         let workers = workers.max(1).min(pairs.len().max(1));
+        let tele = self.system.prober().telemetry();
+        if tele.is_enabled() {
+            tele.counter_add("service.batch.campaigns", 1);
+            tele.record("service.batch.size", pairs.len() as u64);
+            tele.record("service.batch.workers", workers as u64);
+        }
         let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         // Workers stream `(index, result)` over a channel instead of writing
@@ -235,6 +251,10 @@ impl<'s> RevtrService<'s> {
                     if i >= pairs.len() || panicked.load(Ordering::Relaxed) {
                         break;
                     }
+                    // Queue depth at dispatch is a pure function of the
+                    // claimed index, so the recorded distribution is
+                    // identical for any worker count or interleaving.
+                    tele.record("service.batch.queue_depth", (pairs.len() - i) as u64);
                     let (dst, src) = pairs[i];
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         self.system.measure(dst, src)
@@ -277,8 +297,12 @@ impl<'s> RevtrService<'s> {
     pub fn on_ndt_test(&self, client: Addr, server: Addr) -> Result<RevtrResult, ServiceError> {
         // RAII slot: released on every exit path, including a panicking
         // `measure` — a leaked slot would permanently shrink the cap.
-        let _slot = InFlightGuard::acquire(&self.ndt_in_flight, self.ndt_load_cap)
-            .ok_or(ServiceError::Overloaded)?;
+        let tele = self.system.prober().telemetry();
+        let Some(_slot) = InFlightGuard::acquire(&self.ndt_in_flight, self.ndt_load_cap) else {
+            tele.counter_add("service.ndt.overloaded", 1);
+            return Err(ServiceError::Overloaded);
+        };
+        tele.counter_add("service.ndt.accepted", 1);
         self.system.register_source(server);
         let r = self.system.measure(client, server);
         self.store.push(&r);

@@ -1,0 +1,197 @@
+//! The bounded, order-independent JSONL request journal.
+//!
+//! Sampled request traces (a span tree with virtual-time offsets and
+//! probe deltas) are stored as structured records and rendered as one
+//! JSON object per line. Two design rules keep the journal deterministic
+//! under parallel campaigns:
+//!
+//! 1. **Sampling is a pure function of the request key.** A request is
+//!    journalled iff `mix(dst, src) % sample_every == 0` — never "first N
+//!    seen", which would depend on worker interleaving.
+//! 2. **Bounding happens at read time, after sorting.** [`Journal::lines`]
+//!    sorts records by `(src, dst, rendered JSON)` and then truncates to
+//!    the configured cap, so the retained subset is the same regardless
+//!    of insertion order. (A hard insert-time cap of 8× the read cap
+//!    bounds memory on unbounded workloads such as benches; determinism
+//!    of the *rendered* journal is guaranteed whenever the number of
+//!    sampled requests stays at or below that hard cap, which holds for
+//!    every campaign scale in this workspace.)
+
+use crate::Fnv;
+use parking_lot::Mutex;
+
+/// One completed span inside a request trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (e.g. `rr_step`, `atlas_intersection`).
+    pub stage: &'static str,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u32,
+    /// Virtual microseconds from request start to span entry.
+    pub t_us: u64,
+    /// Virtual microseconds spent inside the span.
+    pub dur_us: u64,
+    /// Stage-specific integer fields (probe deltas, hit flags, ...).
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// One journalled request: identity, outcome, and its span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Destination address (the target of the reverse traceroute).
+    pub dst: u32,
+    /// Source address (the revtr vantage point).
+    pub src: u32,
+    /// Final status label (e.g. `Complete`).
+    pub status: &'static str,
+    /// Total virtual microseconds from request start to finish.
+    pub virtual_us: u64,
+    /// Spans in entry order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RequestRecord {
+    /// Render as one JSON object (integers and fixed keys only — no
+    /// escaping is needed because every string is a static identifier).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(128 + self.spans.len() * 96);
+        let _ = write!(
+            s,
+            "{{\"dst\":{},\"src\":{},\"status\":\"{}\",\"virtual_us\":{},\"spans\":[",
+            self.dst, self.src, self.status, self.virtual_us
+        );
+        for (i, sp) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"stage\":\"{}\",\"depth\":{},\"t_us\":{},\"dur_us\":{}",
+                sp.stage, sp.depth, sp.t_us, sp.dur_us
+            );
+            for (k, v) in &sp.fields {
+                let _ = write!(s, ",\"{k}\":{v}");
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Thread-safe store of sampled [`RequestRecord`]s with deterministic
+/// bounded output.
+#[derive(Debug)]
+pub struct Journal {
+    entries: Mutex<Vec<RequestRecord>>,
+    /// Read-time cap: `lines()`/`records_sorted()` return at most this many.
+    cap: usize,
+}
+
+impl Journal {
+    /// A journal whose rendered output keeps at most `cap` requests.
+    pub fn new(cap: usize) -> Journal {
+        Journal {
+            entries: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    /// Store one request record (dropped if the 8×cap memory bound is hit).
+    pub fn push(&self, rec: RequestRecord) {
+        let mut e = self.entries.lock();
+        if e.len() < self.cap.saturating_mul(8) {
+            e.push(rec);
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// All stored records sorted by `(src, dst, json)`, truncated to the cap.
+    pub fn records_sorted(&self) -> Vec<RequestRecord> {
+        let mut recs = self.entries.lock().clone();
+        recs.sort_by(|a, b| {
+            (a.src, a.dst)
+                .cmp(&(b.src, b.dst))
+                .then_with(|| a.to_json().cmp(&b.to_json()))
+        });
+        recs.truncate(self.cap);
+        recs
+    }
+
+    /// The rendered JSONL lines (sorted, bounded).
+    pub fn lines(&self) -> Vec<String> {
+        self.records_sorted()
+            .iter()
+            .map(RequestRecord::to_json)
+            .collect()
+    }
+
+    /// FNV fingerprint over the rendered JSONL lines.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for line in self.lines() {
+            h.write(line.as_bytes());
+            h.write(b"\n");
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(dst: u32, src: u32) -> RequestRecord {
+        RequestRecord {
+            dst,
+            src,
+            status: "Complete",
+            virtual_us: 1000 * u64::from(dst),
+            spans: vec![SpanRecord {
+                stage: "rr_step",
+                depth: 0,
+                t_us: 0,
+                dur_us: 500,
+                fields: vec![("probes", 3)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = rec(7, 3).to_json();
+        assert_eq!(
+            j,
+            "{\"dst\":7,\"src\":3,\"status\":\"Complete\",\"virtual_us\":7000,\
+             \"spans\":[{\"stage\":\"rr_step\",\"depth\":0,\"t_us\":0,\"dur_us\":500,\"probes\":3}]}"
+        );
+    }
+
+    #[test]
+    fn output_is_insertion_order_independent_and_bounded() {
+        let a = Journal::new(2);
+        let b = Journal::new(2);
+        for d in [3u32, 1, 2] {
+            a.push(rec(d, 9));
+        }
+        for d in [2u32, 3, 1] {
+            b.push(rec(d, 9));
+        }
+        assert_eq!(a.lines(), b.lines());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.lines().len(), 2);
+        // Sorted: dst 1 then 2 survive the cap.
+        assert!(a.lines()[0].contains("\"dst\":1"));
+        assert!(a.lines()[1].contains("\"dst\":2"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The lock-sharded metrics registry.
+//!
+//! Hot paths update counters and histograms keyed by static-ish string
+//! names from many worker threads at once. Following the
+//! `netsim::concurrent::StripedMap` pattern, the registry stripes its
+//! name → value maps across a fixed set of mutex-guarded shards chosen by
+//! name hash: contention only arises between threads touching the *same*
+//! metric family, and a snapshot merges all shards into one sorted view,
+//! so reads are order-independent regardless of which thread recorded
+//! what.
+
+use crate::histogram::Histogram;
+use crate::Fnv;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+const N_SHARDS: usize = 8;
+
+#[derive(Default, Debug)]
+struct Shard {
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+/// Pad each shard to its own cache line so adjacent mutexes don't false-
+/// share (same layout trick as `netsim::concurrent::CachePadded`; the
+/// type is re-rolled here to keep this crate a leaf).
+#[repr(align(64))]
+#[derive(Default, Debug)]
+struct Padded(Mutex<Shard>);
+
+/// A name-sharded store of monotonic counters and value histograms.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: [Padded; N_SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+fn shard_of(name: &str) -> usize {
+    // DefaultHasher::new() is deterministic for a fixed key (the striping
+    // only needs a stable spread, not a keyed hash).
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    (h.finish() as usize) % N_SHARDS
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            shards: Default::default(),
+        }
+    }
+
+    /// Add `n` to the counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, n: u64) {
+        let mut shard = self.shards[shard_of(name)].0.lock();
+        *shard.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Record one observation `v` in the histogram `name`.
+    pub fn record(&self, name: &str, v: u64) {
+        let mut shard = self.shards[shard_of(name)].0.lock();
+        shard
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Merge every shard into one sorted, order-independent snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut histograms: Vec<(String, Histogram)> = Vec::new();
+        for shard in &self.shards {
+            let s = shard.0.lock();
+            counters.extend(s.counters.iter().map(|(k, v)| (k.clone(), *v)));
+            histograms.extend(s.histograms.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time, name-sorted view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| &self.histograms[i].1)
+            .ok()
+    }
+
+    /// FNV fingerprint of the entire snapshot (names, counter values, and
+    /// full histogram bucket contents). Two runs with identical telemetry
+    /// behaviour produce identical fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (name, v) in &self.counters {
+            h.write(name.as_bytes());
+            h.write_u64(*v);
+        }
+        for (name, hist) in &self.histograms {
+            h.write(name.as_bytes());
+            hist.hash_into(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        let a = MetricsRegistry::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        a.record("h", 10);
+        a.record("h", 20);
+
+        let b = MetricsRegistry::new();
+        b.record("h", 20);
+        b.add("y", 2);
+        b.record("h", 10);
+        b.add("x", 1);
+
+        assert_eq!(a.snapshot().fingerprint(), b.snapshot().fingerprint());
+        assert_eq!(a.snapshot().counter("x"), 1);
+        assert_eq!(a.snapshot().counter("missing"), 0);
+        assert_eq!(a.snapshot().histogram("h").map(|h| h.count()), Some(2));
+    }
+
+    #[test]
+    fn concurrent_adds_all_land() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        reg.add("c", 1);
+                        reg.record("h", i % 64);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 8000);
+        assert_eq!(snap.histogram("h").map(|h| h.count()), Some(8000));
+    }
+}

@@ -1,0 +1,381 @@
+//! The telemetry handle and the per-request span recorder.
+//!
+//! [`Telemetry`] is the cloneable entry point threaded through probers,
+//! systems, and services. Disabled (the default) it is a `None` and every
+//! method returns after one branch — instrumented code stays on its seed
+//! behaviour because this crate performs no probing, no PRNG draws, and
+//! no clock writes of its own. Enabled, it carries a shared
+//! [`MetricsRegistry`] and [`Journal`].
+//!
+//! [`RequestScope`] records one request's span tree. All timestamps are
+//! *virtual milliseconds supplied by the caller* (per-thread simulated
+//! time, so spans are worker-count-invariant); this module never reads
+//! `std::time`.
+
+use crate::journal::{Journal, RequestRecord, SpanRecord};
+use crate::mix_key;
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
+
+/// Tuning knobs for an enabled telemetry handle.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Journal one request in `journal_sample_every` (keyed by a hash of
+    /// `(dst, src)`, so the sampled *set* is interleaving-independent).
+    /// 1 = journal every request.
+    pub journal_sample_every: u64,
+    /// Read-time cap on rendered journal entries.
+    pub journal_cap: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            journal_sample_every: 1,
+            journal_cap: 256,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    registry: MetricsRegistry,
+    journal: Journal,
+    sample_every: u64,
+}
+
+/// A cloneable, shareable telemetry handle. `Telemetry::disabled()` is
+/// the zero-cost default; all clones of one enabled handle feed the same
+/// registry and journal.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (every recording method is a single branch).
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with default config (journal every request,
+    /// 256-entry rendered cap).
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    /// An enabled handle with explicit config.
+    pub fn with_config(cfg: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                journal: Journal::new(cfg.journal_cap),
+                sample_every: cfg.journal_sample_every.max(1),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to counter `name` (no-op when disabled).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.add(name, n);
+        }
+    }
+
+    /// Record `v` into histogram `name` (no-op when disabled).
+    pub fn record(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.record(name, v);
+        }
+    }
+
+    /// Open a request scope for `(dst, src)` with its virtual-time origin
+    /// (the caller's per-thread clock reading at request start). Inactive
+    /// when disabled.
+    pub fn request(&self, dst: u32, src: u32, origin_ms: f64) -> RequestScope {
+        RequestScope {
+            inner: self.inner.as_ref().map(|inner| {
+                Box::new(Active {
+                    tele: Arc::clone(inner),
+                    dst,
+                    src,
+                    origin_ms,
+                    spans: Vec::new(),
+                    stack: Vec::new(),
+                    finished: false,
+                })
+            }),
+        }
+    }
+
+    /// Sorted snapshot of all metrics (empty when disabled).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Rendered JSONL journal lines (sorted, bounded; empty when disabled).
+    pub fn journal_lines(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => inner.journal.lines(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sorted, bounded journal records (empty when disabled).
+    pub fn journal_records(&self) -> Vec<RequestRecord> {
+        match &self.inner {
+            Some(inner) => inner.journal.records_sorted(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fingerprint of the metrics snapshot (0 when disabled).
+    pub fn metrics_fingerprint(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot().fingerprint(),
+            None => 0,
+        }
+    }
+
+    /// Fingerprint of the rendered journal (0 when disabled).
+    pub fn journal_fingerprint(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.journal.fingerprint(),
+            None => 0,
+        }
+    }
+}
+
+struct Active {
+    tele: Arc<Inner>,
+    dst: u32,
+    src: u32,
+    origin_ms: f64,
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+    finished: bool,
+}
+
+/// Handle returned by [`RequestScope::enter`]; pass it back to
+/// [`RequestScope::exit`] to close the span.
+#[derive(Debug)]
+pub struct SpanToken(usize);
+
+/// Span recorder for one in-flight request. Create via
+/// [`Telemetry::request`]; inert (all methods single-branch no-ops) when
+/// the telemetry handle is disabled.
+pub struct RequestScope {
+    inner: Option<Box<Active>>,
+}
+
+impl std::fmt::Debug for RequestScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestScope")
+            .field("active", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Active {
+    /// Virtual microseconds since request origin.
+    fn rel_us(&self, now_ms: f64) -> u64 {
+        ((now_ms - self.origin_ms).max(0.0) * 1000.0).round() as u64
+    }
+}
+
+impl RequestScope {
+    /// Whether spans are being recorded. Callers use this to skip the
+    /// cost of *computing* timestamps and probe deltas when disabled.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `stage` at virtual time `now_ms`.
+    pub fn enter(&mut self, stage: &'static str, now_ms: f64) -> Option<SpanToken> {
+        let a = self.inner.as_mut()?;
+        let t_us = a.rel_us(now_ms);
+        let idx = a.spans.len();
+        a.spans.push(SpanRecord {
+            stage,
+            depth: a.stack.len() as u32,
+            t_us,
+            dur_us: 0,
+            fields: Vec::new(),
+        });
+        a.stack.push(idx);
+        Some(SpanToken(idx))
+    }
+
+    /// Close the span `tok` at virtual time `now_ms`, attaching `fields`.
+    /// `None` tokens (from a disabled `enter`) are ignored.
+    pub fn exit(&mut self, tok: Option<SpanToken>, now_ms: f64, fields: &[(&'static str, u64)]) {
+        let (Some(a), Some(SpanToken(idx))) = (self.inner.as_mut(), tok) else {
+            return;
+        };
+        let end = a.rel_us(now_ms);
+        if let Some(span) = a.spans.get_mut(idx) {
+            span.dur_us = end.saturating_sub(span.t_us);
+            span.fields.extend_from_slice(fields);
+        }
+        // Spans are expected to nest; tolerate mismatched exits by
+        // popping through to the token.
+        while let Some(top) = a.stack.pop() {
+            if top == idx {
+                break;
+            }
+        }
+    }
+
+    /// Finish the request: close dangling spans, aggregate into the
+    /// registry, and journal the trace if sampled. Idempotent.
+    pub fn finish(&mut self, status: &'static str, now_ms: f64) {
+        let Some(a) = self.inner.as_mut() else {
+            return;
+        };
+        if a.finished {
+            return;
+        }
+        a.finished = true;
+        let total_us = a.rel_us(now_ms);
+        while let Some(idx) = a.stack.pop() {
+            if let Some(span) = a.spans.get_mut(idx) {
+                span.dur_us = total_us.saturating_sub(span.t_us);
+            }
+        }
+
+        let reg = &a.tele.registry;
+        reg.add("request.count", 1);
+        reg.add(&format!("request.status.{status}"), 1);
+        reg.record("request.virtual_us", total_us);
+        for span in &a.spans {
+            reg.add(&format!("stage.{}.spans", span.stage), 1);
+            reg.record(&format!("stage.{}.virtual_us", span.stage), span.dur_us);
+            for (k, v) in &span.fields {
+                reg.add(&format!("stage.{}.{k}", span.stage), *v);
+            }
+        }
+
+        if mix_key(a.dst, a.src).is_multiple_of(a.tele.sample_every) {
+            a.tele.journal.push(RequestRecord {
+                dst: a.dst,
+                src: a.src,
+                status,
+                virtual_us: total_us,
+                spans: std::mem::take(&mut a.spans),
+            });
+        }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        if let Some(a) = &self.inner {
+            if !a.finished {
+                // A scope dropped without finish() (early return / panic
+                // unwind) still aggregates, stamped at its latest known
+                // virtual time so no span gets a negative duration.
+                let last = a.spans.iter().map(|s| s.t_us + s.dur_us).max().unwrap_or(0);
+                let now = a.origin_ms + last as f64 / 1000.0;
+                self.finish("abandoned", now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let mut req = t.request(1, 2, 0.0);
+        assert!(!req.active());
+        let tok = req.enter("x", 1.0);
+        assert!(tok.is_none());
+        req.exit(tok, 2.0, &[("f", 1)]);
+        req.finish("Complete", 3.0);
+        assert_eq!(t.metrics_fingerprint(), 0);
+        assert_eq!(t.journal_fingerprint(), 0);
+        assert!(t.journal_lines().is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_and_journal() {
+        let t = Telemetry::enabled();
+        let mut req = t.request(10, 20, 100.0);
+        let outer = req.enter("rr_step", 100.0);
+        let inner = req.enter("rr_direct", 100.5);
+        req.exit(inner, 101.5, &[("probes", 2)]);
+        req.exit(outer, 103.0, &[("revealed", 1)]);
+        req.finish("Complete", 104.0);
+
+        let snap = t.metrics();
+        assert_eq!(snap.counter("request.count"), 1);
+        assert_eq!(snap.counter("request.status.Complete"), 1);
+        assert_eq!(snap.counter("stage.rr_step.spans"), 1);
+        assert_eq!(snap.counter("stage.rr_step.revealed"), 1);
+        assert_eq!(snap.counter("stage.rr_direct.probes"), 2);
+        let h = snap.histogram("stage.rr_direct.virtual_us").expect("hist");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000); // 1.0 virtual ms
+
+        let lines = t.journal_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"stage\":\"rr_direct\",\"depth\":1"));
+        assert!(lines[0].contains("\"virtual_us\":4000"));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_closes_dangling() {
+        let t = Telemetry::enabled();
+        {
+            let mut req = t.request(1, 2, 0.0);
+            let _open = req.enter("dangling", 5.0);
+            req.finish("Stuck", 10.0);
+            req.finish("Complete", 99.0); // ignored
+        }
+        {
+            let mut req = t.request(3, 4, 0.0);
+            let _open = req.enter("leaked", 1.0);
+            // dropped unfinished
+            let _ = &mut req;
+        }
+        let snap = t.metrics();
+        assert_eq!(snap.counter("request.count"), 2);
+        assert_eq!(snap.counter("request.status.Stuck"), 1);
+        assert_eq!(snap.counter("request.status.abandoned"), 1);
+        assert_eq!(snap.counter("request.status.Complete"), 0);
+        // The dangling span was closed at finish time: 10ms - 5ms.
+        let h = snap.histogram("stage.dangling.virtual_us").expect("hist");
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_key() {
+        let cfg = TelemetryConfig {
+            journal_sample_every: 3,
+            journal_cap: 256,
+        };
+        let a = Telemetry::with_config(cfg.clone());
+        let b = Telemetry::with_config(cfg);
+        for dst in 0..30u32 {
+            a.request(dst, 7, 0.0).finish("Complete", 1.0);
+        }
+        for dst in (0..30u32).rev() {
+            b.request(dst, 7, 0.0).finish("Complete", 1.0);
+        }
+        assert_eq!(a.journal_fingerprint(), b.journal_fingerprint());
+        let n = a.journal_lines().len();
+        assert!(n > 0 && n < 30, "sampled {n} of 30");
+    }
+}

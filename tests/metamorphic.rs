@@ -19,7 +19,7 @@
 use revtr_suite::atlas::select_atlas_probes;
 use revtr_suite::audit::Auditor;
 use revtr_suite::netsim::{Addr, FaultConfig, Sim, SimConfig};
-use revtr_suite::probing::{Prober, RetryPolicy};
+use revtr_suite::probing::{Prober, RetryPolicy, Telemetry};
 use revtr_suite::revtr::{EngineConfig, HopMethod, RevtrSystem, Status};
 use revtr_suite::vpselect::{Heuristics, IngressDb};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -143,6 +143,46 @@ fn run_arm(sim: &Sim, arm: &Arm) -> Vec<Fingerprint> {
         .collect()
 }
 
+/// Run the baseline campaign through an explicit prober (which may carry
+/// an enabled telemetry handle and shared warm caches), returning the
+/// stitched fingerprints in input order.
+fn run_with_prober(sim: &Sim, prober: Prober<'_>, workers: usize) -> Vec<Fingerprint> {
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 100, 6);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = pool.len();
+    let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    let (src, dests) = workload(sim, 24);
+    sys.register_source(src);
+    if workers <= 1 {
+        return dests
+            .iter()
+            .map(|&d| fingerprint(&sys.measure(d, src)))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<Fingerprint>>> =
+        (0..dests.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= dests.len() {
+                    break;
+                }
+                let fp = fingerprint(&sys.measure(dests[i], src));
+                *slots[i].lock().expect("slot lock") = Some(fp);
+            });
+        }
+    });
+    slots
+        .iter()
+        .map(|s| s.lock().expect("slot lock").clone().expect("slot filled"))
+        .collect()
+}
+
 fn assert_arms_identical(name: &str, seed: u64, base: &[Fingerprint], arm: &[Fingerprint]) {
     assert_eq!(
         base.len(),
@@ -228,6 +268,91 @@ fn recovered_faults_preserve_stitched_paths() {
             },
         );
         assert_arms_identical("faults + retries", seed, &base, &recovered);
+    }
+}
+
+#[test]
+fn telemetry_enabled_is_behaviour_neutral() {
+    // Tracing is off by default, and turning it on must be invisible to
+    // the measurement layer: identical stitched paths, identical probe
+    // counters, identical virtual-time consumption.
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+
+        let plain = Prober::new(&sim);
+        assert!(
+            !plain.telemetry().is_enabled(),
+            "telemetry must be disabled by default"
+        );
+        let base = run_with_prober(&sim, plain.clone(), 1);
+        let base_probes = plain.counters().snapshot();
+        let base_ms = plain.clock().now_ms();
+
+        let tele = Telemetry::enabled();
+        let traced_prober = Prober::new(&sim).with_telemetry(tele.clone());
+        let traced = run_with_prober(&sim, traced_prober.clone(), 1);
+        let traced_probes = traced_prober.counters().snapshot();
+        let traced_ms = traced_prober.clock().now_ms();
+
+        assert_arms_identical("telemetry on", seed, &base, &traced);
+        assert_eq!(
+            base_probes, traced_probes,
+            "telemetry changed probe counts (seed {seed})"
+        );
+        assert_eq!(
+            base_ms, traced_ms,
+            "telemetry changed virtual time (seed {seed})"
+        );
+        // ...while actually recording: the traced arm saw every request.
+        assert_eq!(
+            tele.metrics().counter("request.count"),
+            traced.len() as u64,
+            "traced arm missed requests (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn telemetry_metrics_and_journal_are_deterministic() {
+    for seed in SEEDS {
+        // (a) Cold, serial: repeated runs on fresh identical sims produce
+        // byte-identical metrics snapshots and journals.
+        let cold_run = || {
+            let sim = Sim::build(base_cfg(), seed);
+            let tele = Telemetry::enabled();
+            let prober = Prober::new(&sim).with_telemetry(tele.clone());
+            let _ = run_with_prober(&sim, prober, 1);
+            (tele.metrics_fingerprint(), tele.journal_fingerprint())
+        };
+        let first = cold_run();
+        let second = cold_run();
+        assert_eq!(first, second, "cold rerun diverged (seed {seed})");
+        assert_ne!(first.0, 0, "metrics fingerprint empty (seed {seed})");
+        assert_ne!(first.1, 0, "journal fingerprint empty (seed {seed})");
+
+        // (b) Worker-count invariance: once the measurement cache is warm
+        // (clones of one prober share cache, counters, and clock), a
+        // serial and an 8-worker campaign record identical telemetry —
+        // per-thread virtual time keeps span durations interleaving-free.
+        let sim = Sim::build(base_cfg(), seed);
+        let shared = Prober::new(&sim);
+        let _ = run_with_prober(&sim, shared.clone(), 1); // warm caches, no tracing
+
+        let serial_tele = Telemetry::enabled();
+        let _ = run_with_prober(&sim, shared.with_telemetry(serial_tele.clone()), 1);
+        let parallel_tele = Telemetry::enabled();
+        let _ = run_with_prober(&sim, shared.with_telemetry(parallel_tele.clone()), 8);
+
+        assert_eq!(
+            serial_tele.metrics_fingerprint(),
+            parallel_tele.metrics_fingerprint(),
+            "metrics depend on worker count (seed {seed})"
+        );
+        assert_eq!(
+            serial_tele.journal_fingerprint(),
+            parallel_tele.journal_fingerprint(),
+            "journal depends on worker count (seed {seed})"
+        );
     }
 }
 
