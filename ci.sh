@@ -44,6 +44,53 @@ done
 echo "== telemetry profile gate (release, smoke scale) =="
 ./target/release/revtr-cli metrics --scale smoke | tail -n 3
 
+# Monitor neutrality gate: judging a campaign must not change its
+# identity — the monitor's campaign fingerprints are byte-identical to
+# the plain telemetry profile's at the same seed.
+echo "== monitor neutrality gate (release, smoke seed 1) =="
+metrics_fp=$(./target/release/revtr-cli metrics --scale smoke --seed 1 | grep '^fingerprints:')
+monitor_fp=$(./target/release/revtr-cli monitor --scale smoke --seed 1 | grep '^fingerprints:')
+if [ "$metrics_fp" != "$monitor_fp" ]; then
+  echo "monitor perturbed the campaign:"
+  echo "  metrics: $metrics_fp"
+  echo "  monitor: $monitor_fp"
+  exit 1
+fi
+echo "neutral: $monitor_fp"
+
+# SLO monitor gate: the clean standard configuration reports zero
+# violations at every pinned seed (revtr-cli monitor exits nonzero on any
+# firing alert)...
+echo "== SLO monitor gate (release, standard scale, seeds 1/7/42) =="
+for seed in 1 7 42; do
+  ./target/release/revtr-cli monitor --scale standard --seed "$seed" \
+    | tail -n 1
+done
+
+# ...while a faulted campaign (30% transient loss, no retry budget) must
+# provably fire the coverage and stuck-request alerts.
+echo "== SLO monitor fault-detection gate (release, smoke, loss 0.3) =="
+if faulted_out=$(./target/release/revtr-cli monitor --scale smoke --seed 1 --loss 0.3 --budget 1); then
+  echo "faulted run passed the SLO gate — monitor is blind"; exit 1
+fi
+echo "$faulted_out" | grep -q 'coverage-floor' || { echo "coverage alert missing"; exit 1; }
+echo "$faulted_out" | grep -q 'stuck-requests' || { echo "stuck-request alert missing"; exit 1; }
+echo "$faulted_out" | tail -n 1
+
+# Perf-regression sentinel: re-run the standard benchmark and compare
+# against the committed BENCH_PR5.json baseline (bench-compare exits
+# nonzero past tolerance).
+echo "== perf-regression sentinel (release, standard seed 1 vs BENCH_PR5.json) =="
+bench_new=$(mktemp /tmp/bench_pr5.XXXXXX.json)
+./target/release/revtr-cli bench-report --scale standard --seed 1 --file "$bench_new"
+./target/release/revtr-cli bench-compare BENCH_PR5.json "$bench_new" | tail -n 1
+rm -f "$bench_new"
+
+# Standard-scale metrics golden (seed 42): TSV bytes and campaign
+# fingerprints pinned under crates/eval/tests/goldens/standard42.
+echo "== metrics golden gate (release, standard seed 42) =="
+cargo test -q --release -p revtr-eval --test metrics_golden -- --ignored
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

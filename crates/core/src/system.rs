@@ -151,6 +151,15 @@ impl<'s> RevtrSystem<'s> {
         &self.prober
     }
 
+    /// Stuck-request watchdog flags accumulated so far: requests whose
+    /// measurement span overran the telemetry handle's virtual deadline
+    /// (flagged, never killed), sorted by `(src, dst, stage)`. Empty
+    /// unless the prober carries a telemetry handle with an armed
+    /// [`revtr_probing::TelemetryConfig::watchdog_deadline_ms`].
+    pub fn watchdog_flags(&self) -> Vec<revtr_probing::WatchdogFlag> {
+        self.prober.telemetry().watchdog_flags()
+    }
+
     /// The simulator.
     pub fn sim(&self) -> &'s Sim {
         self.sim

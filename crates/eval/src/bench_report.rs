@@ -1,0 +1,475 @@
+//! The perf-regression sentinel: a machine-readable benchmark report and
+//! a tolerance-gated comparator.
+//!
+//! `revtr-cli bench-report` runs the clean monitored campaign and writes a
+//! `BENCH_*.json` with the run's virtual cost, probe mix (Table-4 kinds),
+//! coverage/accuracy, cache effectiveness, and campaign fingerprints.
+//! `revtr-cli bench-compare old.json new.json` re-reads two such reports
+//! and exits non-zero when the new run regresses past tolerance — ci.sh
+//! wires it against the committed `BENCH_PR5.json` baseline.
+//!
+//! Everything gated is **virtual**: probe counts, virtual milliseconds,
+//! coverage, accuracy. Wall-clock time is recorded for context but never
+//! gated (it varies with the machine); fingerprint changes are surfaced as
+//! notes, not failures (any intended behaviour change re-fingerprints —
+//! the baseline-update procedure in DESIGN.md §8 covers refreshing them).
+
+use crate::monitor::{self, MonitorConfig};
+use serde::Value;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark run, as serialised to `BENCH_*.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Scale name ("smoke" / "standard").
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Wall-clock milliseconds for the campaign (informational only).
+    pub wall_ms: f64,
+    /// Campaign virtual milliseconds (gated).
+    pub virtual_ms: f64,
+    /// Requests attempted.
+    pub requests: u64,
+    /// Campaign coverage (complete / attempted).
+    pub coverage: f64,
+    /// AS-soundness of compared complete paths.
+    pub accuracy: f64,
+    /// Probe mix: sorted `(kind, count)` pairs (Table-4 categories).
+    pub probes_by_kind: Vec<(String, u64)>,
+    /// Retry meta-counter.
+    pub retries: u64,
+    /// Fault-loss meta-counter.
+    pub lost: u64,
+    /// Measurement-cache hits.
+    pub cache_hits: u64,
+    /// Measurement-cache misses.
+    pub cache_misses: u64,
+    /// Measurement-cache inserts.
+    pub cache_inserts: u64,
+    /// Measurement-cache TTL expiries.
+    pub cache_expired: u64,
+    /// Simulator route computations.
+    pub route_computes: u64,
+    /// Campaign metrics fingerprint (hex, noted on mismatch, never gated).
+    pub metrics_fingerprint: String,
+    /// Campaign journal fingerprint (hex).
+    pub journal_fingerprint: String,
+}
+
+/// The outcome of comparing a new report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BenchComparison {
+    /// Tolerance-violating regressions (non-empty fails the gate).
+    pub regressions: Vec<String>,
+    /// Informational differences (fingerprints, wall clock, improvements).
+    pub notes: Vec<String>,
+}
+
+impl BenchComparison {
+    /// Whether the new run passes the gate.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Render the comparison as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for n in &self.notes {
+            let _ = writeln!(s, "note: {n}");
+        }
+        for r in &self.regressions {
+            let _ = writeln!(s, "REGRESSION: {r}");
+        }
+        let _ = write!(
+            s,
+            "bench gate: {} ({} regressions, {} notes)",
+            if self.pass() { "PASS" } else { "FAIL" },
+            self.regressions.len(),
+            self.notes.len()
+        );
+        s
+    }
+}
+
+/// Run the clean monitored campaign at `scale_name`/`seed` and produce a
+/// report. Wall-clock time wraps exactly the campaign (not process
+/// startup).
+pub fn run(scale_name: &str, seed: u64) -> BenchReport {
+    let cfg = MonitorConfig::clean(scale_name);
+    let started = Instant::now();
+    let m = match scale_name {
+        "standard" => monitor::standard_seeded(seed, &cfg),
+        _ => monitor::smoke_seeded(seed, &cfg),
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let derived = |key: &str| {
+        m.derived
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    BenchReport {
+        scale: scale_name.to_string(),
+        seed,
+        wall_ms,
+        virtual_ms: m.campaign_virtual_ms,
+        requests: m.requests as u64,
+        coverage: derived("coverage"),
+        accuracy: derived("accuracy"),
+        probes_by_kind: m
+            .probes
+            .by_kind()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        retries: m.probes.retries,
+        lost: m.probes.lost,
+        cache_hits: m.cache.hits,
+        cache_misses: m.cache.misses,
+        cache_inserts: m.cache.inserts,
+        cache_expired: m.cache.expired,
+        route_computes: m.route_computes,
+        metrics_fingerprint: format!("{:#018x}", m.metrics_fingerprint),
+        journal_fingerprint: format!("{:#018x}", m.journal_fingerprint),
+    }
+}
+
+impl BenchReport {
+    /// Serialise to JSON (fixed key order, one key per line, so diffs on
+    /// the committed baseline stay reviewable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"wall_ms\": {:?},", self.wall_ms);
+        let _ = writeln!(s, "  \"virtual_ms\": {:?},", self.virtual_ms);
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "  \"coverage\": {:?},", self.coverage);
+        let _ = writeln!(s, "  \"accuracy\": {:?},", self.accuracy);
+        let _ = writeln!(s, "  \"probes_by_kind\": {{");
+        for (i, (k, v)) in self.probes_by_kind.iter().enumerate() {
+            let comma = if i + 1 < self.probes_by_kind.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    \"{k}\": {v}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"retries\": {},", self.retries);
+        let _ = writeln!(s, "  \"lost\": {},", self.lost);
+        let _ = writeln!(s, "  \"cache_stats\": {{");
+        let _ = writeln!(s, "    \"expired\": {},", self.cache_expired);
+        let _ = writeln!(s, "    \"hits\": {},", self.cache_hits);
+        let _ = writeln!(s, "    \"inserts\": {},", self.cache_inserts);
+        let _ = writeln!(s, "    \"misses\": {}", self.cache_misses);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"route_computes\": {},", self.route_computes);
+        let _ = writeln!(s, "  \"fingerprints\": {{");
+        let _ = writeln!(s, "    \"journal\": \"{}\",", self.journal_fingerprint);
+        let _ = writeln!(s, "    \"metrics\": \"{}\"", self.metrics_fingerprint);
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+
+    /// Parse a report back from its JSON form.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let obj = |v: &Value, key: &str| -> Result<Value, String> {
+            v.get(key).cloned().ok_or(format!("missing key {key:?}"))
+        };
+        let num = |v: &Value, key: &str| -> Result<f64, String> {
+            match obj(v, key)? {
+                Value::F64(x) => Ok(x),
+                Value::U64(x) => Ok(x as f64),
+                Value::I64(x) => Ok(x as f64),
+                other => Err(format!("key {key:?} not numeric: {other:?}")),
+            }
+        };
+        let int = |v: &Value, key: &str| -> Result<u64, String> {
+            match obj(v, key)? {
+                Value::U64(x) => Ok(x),
+                Value::I64(x) if x >= 0 => Ok(x as u64),
+                other => Err(format!("key {key:?} not an integer: {other:?}")),
+            }
+        };
+        let string = |v: &Value, key: &str| -> Result<String, String> {
+            match obj(v, key)? {
+                Value::Str(x) => Ok(x),
+                other => Err(format!("key {key:?} not a string: {other:?}")),
+            }
+        };
+        let probes = obj(&v, "probes_by_kind")?;
+        let probe_pairs = probes
+            .as_object()
+            .ok_or("probes_by_kind not an object".to_string())?;
+        let mut probes_by_kind = Vec::new();
+        for (k, pv) in probe_pairs {
+            match pv {
+                Value::U64(x) => probes_by_kind.push((k.clone(), *x)),
+                Value::I64(x) if *x >= 0 => probes_by_kind.push((k.clone(), *x as u64)),
+                other => return Err(format!("probe kind {k:?} not an integer: {other:?}")),
+            }
+        }
+        probes_by_kind.sort();
+        let cache = obj(&v, "cache_stats")?;
+        let fps = obj(&v, "fingerprints")?;
+        Ok(BenchReport {
+            scale: string(&v, "scale")?,
+            seed: int(&v, "seed")?,
+            wall_ms: num(&v, "wall_ms")?,
+            virtual_ms: num(&v, "virtual_ms")?,
+            requests: int(&v, "requests")?,
+            coverage: num(&v, "coverage")?,
+            accuracy: num(&v, "accuracy")?,
+            probes_by_kind,
+            retries: int(&v, "retries")?,
+            lost: int(&v, "lost")?,
+            cache_hits: int(&cache, "hits")?,
+            cache_misses: int(&cache, "misses")?,
+            cache_inserts: int(&cache, "inserts")?,
+            cache_expired: int(&cache, "expired")?,
+            route_computes: int(&v, "route_computes")?,
+            metrics_fingerprint: string(&fps, "metrics")?,
+            journal_fingerprint: string(&fps, "journal")?,
+        })
+    }
+
+    /// Total option-carrying probes (RR + spoofed RR + TS + spoofed TS).
+    pub fn option_probes(&self) -> u64 {
+        self.probes_by_kind
+            .iter()
+            .filter(|(k, _)| matches!(k.as_str(), "rr" | "spoof_rr" | "ts" | "spoof_ts"))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All packets across kinds.
+    pub fn all_packets(&self) -> u64 {
+        self.probes_by_kind.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Per-kind counts below this are too small for a relative tolerance to
+/// be meaningful; they are gated via the aggregate totals instead.
+const KIND_FLOOR: u64 = 20;
+
+/// Compare `new` against the `old` baseline. `tol` is the relative
+/// tolerance on probe counts and virtual time (e.g. 0.10 = +10% allowed);
+/// `tol_quality` is the absolute tolerance on coverage/accuracy drops.
+pub fn compare(
+    old: &BenchReport,
+    new: &BenchReport,
+    tol: f64,
+    tol_quality: f64,
+) -> BenchComparison {
+    let mut c = BenchComparison::default();
+    if old.scale != new.scale || old.seed != new.seed {
+        c.regressions.push(format!(
+            "reports not comparable: baseline is {}/seed {}, new is {}/seed {}",
+            old.scale, old.seed, new.scale, new.seed
+        ));
+        return c;
+    }
+
+    let rel_gate = |c: &mut BenchComparison, what: &str, old_v: f64, new_v: f64| {
+        if old_v <= 0.0 {
+            return;
+        }
+        let rel = (new_v - old_v) / old_v;
+        if rel > tol {
+            c.regressions.push(format!(
+                "{what} grew {:+.1}% ({old_v:.0} -> {new_v:.0}, tolerance +{:.0}%)",
+                rel * 100.0,
+                tol * 100.0
+            ));
+        } else if rel < -tol {
+            c.notes.push(format!(
+                "{what} improved {:+.1}% ({old_v:.0} -> {new_v:.0})",
+                rel * 100.0
+            ));
+        }
+    };
+
+    rel_gate(&mut c, "virtual_ms", old.virtual_ms, new.virtual_ms);
+    rel_gate(
+        &mut c,
+        "option probes",
+        old.option_probes() as f64,
+        new.option_probes() as f64,
+    );
+    rel_gate(
+        &mut c,
+        "all packets",
+        old.all_packets() as f64,
+        new.all_packets() as f64,
+    );
+    for (kind, old_v) in &old.probes_by_kind {
+        if *old_v < KIND_FLOOR {
+            continue;
+        }
+        let new_v = new
+            .probes_by_kind
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        rel_gate(
+            &mut c,
+            &format!("probes[{kind}]"),
+            *old_v as f64,
+            new_v as f64,
+        );
+    }
+
+    let quality_gate = |c: &mut BenchComparison, what: &str, old_v: f64, new_v: f64| {
+        if new_v < old_v - tol_quality {
+            c.regressions.push(format!(
+                "{what} dropped {:.4} -> {:.4} (tolerance -{:.3})",
+                old_v, new_v, tol_quality
+            ));
+        } else if new_v > old_v + tol_quality {
+            c.notes
+                .push(format!("{what} improved {:.4} -> {:.4}", old_v, new_v));
+        }
+    };
+    quality_gate(&mut c, "coverage", old.coverage, new.coverage);
+    quality_gate(&mut c, "accuracy", old.accuracy, new.accuracy);
+
+    if old.metrics_fingerprint != new.metrics_fingerprint
+        || old.journal_fingerprint != new.journal_fingerprint
+    {
+        c.notes.push(format!(
+            "fingerprints changed (metrics {} -> {}, journal {} -> {}): behaviour shifted; \
+             refresh the baseline if intended",
+            old.metrics_fingerprint,
+            new.metrics_fingerprint,
+            old.journal_fingerprint,
+            new.journal_fingerprint
+        ));
+    }
+    if old.requests != new.requests {
+        c.regressions.push(format!(
+            "request count changed {} -> {} (the workload itself moved)",
+            old.requests, new.requests
+        ));
+    }
+    c.notes.push(format!(
+        "wall clock {:.0} ms -> {:.0} ms (informational, never gated)",
+        old.wall_ms, new.wall_ms
+    ));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            scale: "smoke".into(),
+            seed: 1,
+            wall_ms: 321.5,
+            virtual_ms: 123456.75,
+            requests: 25,
+            coverage: 0.88,
+            accuracy: 0.95,
+            probes_by_kind: vec![
+                ("atlas_rr".into(), 300),
+                ("ping".into(), 40),
+                ("rr".into(), 120),
+                ("spoof_rr".into(), 260),
+                ("spoof_ts".into(), 10),
+                ("traceroute_pkts".into(), 90),
+                ("traceroutes".into(), 6),
+                ("ts".into(), 30),
+            ],
+            retries: 0,
+            lost: 0,
+            cache_hits: 50,
+            cache_misses: 70,
+            cache_inserts: 60,
+            cache_expired: 5,
+            route_computes: 400,
+            metrics_fingerprint: "0x00deadbeef001122".into(),
+            journal_fingerprint: "0x0011223344556677".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = BenchReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(r.option_probes(), 120 + 260 + 10 + 30);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample();
+        let c = compare(&r, &r, 0.10, 0.02);
+        assert!(c.pass(), "{}", c.render());
+    }
+
+    #[test]
+    fn probe_inflation_fails_the_gate() {
+        let old = sample();
+        let mut new = sample();
+        // The acceptance scenario: a synthetic 20% probe inflation must
+        // fail a 10%-tolerance compare.
+        for (_, v) in new.probes_by_kind.iter_mut() {
+            *v += *v / 5;
+        }
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(!c.pass());
+        assert!(
+            c.regressions.iter().any(|r| r.contains("option probes")),
+            "{}",
+            c.render()
+        );
+        assert!(c.regressions.iter().any(|r| r.contains("probes[spoof_rr]")));
+        // Tiny kinds (below the floor) are not individually gated.
+        assert!(!c.regressions.iter().any(|r| r.contains("traceroutes]")));
+    }
+
+    #[test]
+    fn latency_and_quality_regressions_fail() {
+        let old = sample();
+        let mut slow = sample();
+        slow.virtual_ms *= 1.25;
+        assert!(!compare(&old, &slow, 0.10, 0.02).pass());
+
+        let mut lossy = sample();
+        lossy.coverage -= 0.05;
+        let c = compare(&old, &lossy, 0.10, 0.02);
+        assert!(c.regressions.iter().any(|r| r.contains("coverage")));
+
+        let mut wrong = sample();
+        wrong.accuracy = 0.90;
+        assert!(!compare(&old, &wrong, 0.10, 0.02).pass());
+    }
+
+    #[test]
+    fn fingerprint_and_wall_changes_are_notes_not_failures() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics_fingerprint = "0x0000000000000001".into();
+        new.wall_ms = 99999.0;
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(c.pass(), "{}", c.render());
+        assert!(c.notes.iter().any(|n| n.contains("fingerprints changed")));
+    }
+
+    #[test]
+    fn mismatched_scales_refuse_to_compare() {
+        let old = sample();
+        let mut new = sample();
+        new.scale = "standard".into();
+        assert!(!compare(&old, &new, 0.10, 0.02).pass());
+    }
+}

@@ -7,16 +7,21 @@
 //! revtr-cli robustness [--scale smoke|standard] [--out DIR]
 //! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]
 //! revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]
+//! revtr-cli monitor   [--scale ...] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]
+//! revtr-cli bench-report  [--scale ...] [--seed N] [--file PATH]
+//! revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]
 //! ```
 //!
 //! Every subcommand validates its flags against an allow-list
 //! ([`revtr_eval::cliargs`]); unknown flags are a usage error (exit 2)
-//! rather than being silently ignored.
+//! rather than being silently ignored. `monitor` exits non-zero when any
+//! SLO rule fires; `bench-compare` exits non-zero past tolerance — both
+//! are usable directly as CI gates.
 
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::cliargs::{self, Flags};
-use revtr_eval::{audit, metrics, reproduce, robustness};
+use revtr_eval::{audit, bench_report, metrics, monitor, reproduce, robustness};
 use revtr_netsim::{Addr, AsTier, Sim};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
@@ -31,7 +36,10 @@ fn usage() -> ExitCode {
          revtr-cli reproduce [--scale smoke|standard] [--out DIR]\n  \
          revtr-cli robustness [--scale smoke|standard] [--out DIR]\n  \
          revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]\n  \
-         revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]"
+         revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]\n  \
+         revtr-cli monitor   [--scale smoke|standard] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]\n  \
+         revtr-cli bench-report  [--scale smoke|standard] [--seed N] [--file PATH]\n  \
+         revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]"
     );
     ExitCode::from(2)
 }
@@ -285,6 +293,110 @@ fn cmd_metrics(flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_monitor(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let scale_name = match flags.scale() {
+        Ok(_) => flags.scale_name(),
+        Err(e) => return flag_err(&e),
+    };
+    let loss = match flags.get("loss").unwrap_or("0").parse::<f64>() {
+        Ok(p) if (0.0..=1.0).contains(&p) => p,
+        _ => return flag_err("--loss must be a probability in [0, 1]"),
+    };
+    let budget = match flags.get("budget").unwrap_or("1").parse::<u32>() {
+        Ok(b) if b >= 1 => b,
+        _ => return flag_err("--budget must be a positive integer"),
+    };
+    let mut cfg = monitor::MonitorConfig::faulted(scale_name, loss, budget);
+    if let Some(ms) = flags.get("deadline-ms") {
+        match ms.parse::<f64>() {
+            Ok(v) if v > 0.0 => cfg.watchdog_deadline_ms = v,
+            _ => return flag_err("--deadline-ms must be a positive number"),
+        }
+    }
+    let report = match scale_name {
+        "standard" => monitor::standard_seeded(seed.unwrap_or(1), &cfg),
+        _ => monitor::smoke_seeded(seed.unwrap_or(1), &cfg),
+    };
+    if let Some(s) = seed {
+        println!("(master seed {s})");
+    }
+    println!("{}", report.render());
+    if let Some(dir) = flags.out_dir() {
+        match report.save_exports(dir) {
+            Ok((trace, prom)) => {
+                eprintln!("exports: {}  {}", trace.display(), prom.display())
+            }
+            Err(e) => {
+                eprintln!("could not write exports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_bench_report(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let scale_name = match flags.scale() {
+        Ok(_) => flags.scale_name(),
+        Err(e) => return flag_err(&e),
+    };
+    let report = bench_report::run(scale_name, seed.unwrap_or(1));
+    let json = report.to_json();
+    match flags.get("file") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench_compare(old_path: &str, new_path: &str, flags: &Flags) -> ExitCode {
+    let tol = match flags.get("tol").unwrap_or("0.10").parse::<f64>() {
+        Ok(t) if t >= 0.0 => t,
+        _ => return flag_err("--tol must be a non-negative number"),
+    };
+    let tol_quality = match flags.get("tol-quality").unwrap_or("0.02").parse::<f64>() {
+        Ok(t) if t >= 0.0 => t,
+        _ => return flag_err("--tol-quality must be a non-negative number"),
+    };
+    let load = |path: &str| -> Result<bench_report::BenchReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        bench_report::BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = bench_report::compare(&old, &new, tol, tol_quality);
+    println!("{}", cmp.render());
+    if cmp.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// The flags each subcommand accepts; anything else is a usage error.
 fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
     Some(match cmd {
@@ -294,6 +406,9 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         "robustness" => &["scale", "out"],
         "audit" => &["scale", "seed", "out"],
         "metrics" => &["scale", "seed", "out"],
+        "monitor" => &["scale", "seed", "out", "loss", "budget", "deadline-ms"],
+        "bench-report" => &["scale", "seed", "file"],
+        "bench-compare" => &["tol", "tol-quality"],
         _ => return None,
     })
 }
@@ -306,6 +421,18 @@ fn main() -> ExitCode {
     let Some(allowed) = allowed_flags(cmd) else {
         return usage();
     };
+    // `bench-compare` takes its two report paths positionally (before any
+    // flags); everything else is pure `--flag value`.
+    let (positionals, rest) = if cmd == "bench-compare" {
+        let n = rest
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .take(2)
+            .count();
+        rest.split_at(n)
+    } else {
+        rest.split_at(0)
+    };
     let flags = match cliargs::parse(rest, allowed) {
         Ok(f) => f,
         Err(e) => return flag_err(&e),
@@ -317,6 +444,12 @@ fn main() -> ExitCode {
         "robustness" => cmd_robustness(&flags),
         "audit" => cmd_audit(&flags),
         "metrics" => cmd_metrics(&flags),
+        "monitor" => cmd_monitor(&flags),
+        "bench-report" => cmd_bench_report(&flags),
+        "bench-compare" => match positionals {
+            [old, new] => cmd_bench_compare(old, new, &flags),
+            _ => flag_err("bench-compare needs two positional report paths: OLD.json NEW.json"),
+        },
         _ => usage(),
     }
 }

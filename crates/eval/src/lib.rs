@@ -13,11 +13,13 @@ pub mod as_graph;
 pub mod asymmetry;
 pub mod atlas_study;
 pub mod audit;
+pub mod bench_report;
 pub mod cliargs;
 pub mod context;
 pub mod dbr_violations;
 pub mod ip2as_ablation;
 pub mod metrics;
+pub mod monitor;
 pub mod render;
 pub mod reproduce;
 pub mod responsiveness;

@@ -14,13 +14,16 @@ fn exit_code(args: &[&str]) -> i32 {
     run(args).status.code().expect("exit code")
 }
 
-const COMMANDS: [&str; 6] = [
+const COMMANDS: [&str; 9] = [
     "topology",
     "measure",
     "reproduce",
     "robustness",
     "audit",
     "metrics",
+    "monitor",
+    "bench-report",
+    "bench-compare",
 ];
 
 #[test]
@@ -42,6 +45,7 @@ fn every_subcommand_rejects_a_flag_missing_its_value() {
         // The first allowed flag of each command, valueless.
         let flag = match cmd {
             "topology" | "measure" => "--era",
+            "bench-compare" => "--tol",
             _ => "--scale",
         };
         assert_eq!(exit_code(&[cmd, flag]), 2, "{cmd} {flag} without value");
@@ -64,6 +68,80 @@ fn no_arguments_or_unknown_command_prints_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
     assert_eq!(exit_code(&["frobnicate"]), 2);
+}
+
+#[test]
+fn monitor_smoke_clean_passes_and_faulted_fails() {
+    let dir = std::env::temp_dir().join(format!("revtr-cli-monitor-{}", std::process::id()));
+    let out = run(&[
+        "monitor",
+        "--scale",
+        "smoke",
+        "--seed",
+        "1",
+        "--out",
+        dir.to_str().expect("utf8 temp dir"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "clean monitor failed: {stdout}");
+    assert!(stdout.contains("slo gate: PASS"), "stdout: {stdout}");
+    assert!(stdout.contains("fingerprints: metrics"), "stdout: {stdout}");
+    let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace export");
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""));
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("prometheus export");
+    assert!(prom.contains("revtr_request_count"));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let out = run(&[
+        "monitor", "--scale", "smoke", "--seed", "1", "--loss", "0.3", "--budget", "1",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "faulted monitor passed: {stdout}"
+    );
+    assert!(stdout.contains("slo gate: FAIL"), "stdout: {stdout}");
+    assert!(stdout.contains("coverage-floor"), "stdout: {stdout}");
+    assert!(stdout.contains("stuck-requests"), "stdout: {stdout}");
+}
+
+#[test]
+fn bench_report_round_trips_through_bench_compare() {
+    let file = std::env::temp_dir().join(format!("revtr-cli-bench-{}.json", std::process::id()));
+    let path = file.to_str().expect("utf8 temp path");
+    let out = run(&[
+        "bench-report",
+        "--scale",
+        "smoke",
+        "--seed",
+        "1",
+        "--file",
+        path,
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = run(&["bench-compare", path, path]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "self-compare failed: {stdout}");
+    assert!(stdout.contains("bench gate: PASS"), "stdout: {stdout}");
+    std::fs::remove_file(&file).ok();
+
+    // Unreadable inputs are an ordinary failure (exit 1), not usage (2).
+    assert_eq!(
+        exit_code(&["bench-compare", "/nonexistent/a.json", path]),
+        1
+    );
+    // Missing positionals are a usage error.
+    assert_eq!(exit_code(&["bench-compare", "--tol", "0.1"]), 2);
+    assert_eq!(exit_code(&["bench-compare", path, path, "--tol", "x"]), 2);
+}
+
+#[test]
+fn monitor_rejects_bad_fault_flags() {
+    assert_eq!(exit_code(&["monitor", "--loss", "1.5"]), 2);
+    assert_eq!(exit_code(&["monitor", "--budget", "0"]), 2);
+    assert_eq!(exit_code(&["monitor", "--deadline-ms", "-3"]), 2);
+    assert_eq!(exit_code(&["monitor", "--scale", "huge"]), 2);
 }
 
 #[test]

@@ -137,6 +137,23 @@ impl Snapshot {
         self.option_probes() + self.ping + self.traceroute_pkts + self.atlas_rr
     }
 
+    /// The probe mix as sorted `(kind, count)` pairs — the Table-4 style
+    /// breakdown the perf sentinel records in `BENCH_*.json`. Only real
+    /// packet kinds appear; the retry/loss meta-counters are reported
+    /// separately.
+    pub fn by_kind(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("atlas_rr", self.atlas_rr),
+            ("ping", self.ping),
+            ("rr", self.rr),
+            ("spoof_rr", self.spoof_rr),
+            ("spoof_ts", self.spoof_ts),
+            ("traceroute_pkts", self.traceroute_pkts),
+            ("traceroutes", self.traceroutes),
+            ("ts", self.ts),
+        ]
+    }
+
     /// Component-wise difference (`self` must be the later snapshot).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {

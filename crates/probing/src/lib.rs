@@ -38,4 +38,4 @@ pub use prober::{
     BatchReply, ProbeLoss, Prober, RetryPolicy, RrProvenance, PROBE_TIMEOUT_MS,
     TRACEROUTE_TIMEOUT_MS,
 };
-pub use revtr_telemetry::{RequestScope, SpanToken, Telemetry, TelemetryConfig};
+pub use revtr_telemetry::{RequestScope, SpanToken, Telemetry, TelemetryConfig, WatchdogFlag};

@@ -118,6 +118,15 @@ impl<'s> RevtrService<'s> {
         &self.system
     }
 
+    /// The stuck-request watchdog report: served requests whose
+    /// measurement overran the telemetry handle's virtual deadline,
+    /// flagged with the deepest span open at the deadline. The service
+    /// never kills a stuck measurement (a 10 s spoofed-batch stall still
+    /// yields a usable path) — the watchdog makes the stall visible.
+    pub fn watchdog_flags(&self) -> Vec<revtr_probing::WatchdogFlag> {
+        self.system.watchdog_flags()
+    }
+
     /// Same service with a different NDT concurrency cap (testing knob).
     pub fn with_ndt_cap(mut self, cap: usize) -> RevtrService<'s> {
         self.ndt_load_cap = cap;

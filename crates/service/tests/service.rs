@@ -200,3 +200,75 @@ fn batch_campaigns_charge_the_daily_quota() {
         ServiceError::User(UserError::DailyQuotaExceeded)
     );
 }
+
+/// Like [`build_service`] but with a watchdog-armed telemetry handle
+/// threaded through the prober.
+fn build_watched_service<'s>(
+    sim: &'s Sim,
+    deadline_ms: f64,
+) -> (RevtrService<'s>, revtr_probing::Telemetry) {
+    let telemetry = revtr_probing::Telemetry::with_config(revtr_probing::TelemetryConfig {
+        watchdog_deadline_ms: Some(deadline_ms),
+        ..revtr_probing::TelemetryConfig::default()
+    });
+    let prober = Prober::new(sim).with_telemetry(telemetry.clone());
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 80, 3);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = 30;
+    let system = revtr::RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    (RevtrService::new(system), telemetry)
+}
+
+#[test]
+fn stuck_request_watchdog_flags_but_never_kills() {
+    let sim = Sim::build(SimConfig::tiny(), 59);
+
+    // A deadline of one virtual millisecond: every served request
+    // overruns it, so the watchdog must flag all of them...
+    let (watched, _tele) = build_watched_service(&sim, 1.0);
+    let key = watched.add_user("operator", RateLimits::default());
+    let src = sim.topo().vp_sites[0].host;
+    watched.add_source(key, src).expect("bootstrap");
+    let dests: Vec<Addr> = (0..4).map(|i| responsive_dest(&sim, i * 2)).collect();
+    let watched_results: Vec<_> = dests
+        .iter()
+        .map(|&d| watched.request(key, d, src).expect("served"))
+        .collect();
+
+    let flags = watched.watchdog_flags();
+    assert_eq!(
+        flags.len(),
+        dests.iter().collect::<std::collections::HashSet<_>>().len(),
+        "every distinct request overran a 1 ms deadline"
+    );
+    // ...with a deterministic sort and a non-empty stage attribution.
+    let keys: Vec<(u32, u32)> = flags.iter().map(|f| (f.src, f.dst)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "flags must be (src, dst)-sorted");
+    for f in &flags {
+        assert!(f.virtual_us > f.deadline_us, "flag without an overrun");
+        assert!(!f.stage.is_empty());
+    }
+
+    // ...and flagging is observe-only: an unwatched service serves the
+    // exact same reverse paths. The service never kills a measurement.
+    let plain = build_service(&sim);
+    let key2 = plain.add_user("operator", RateLimits::default());
+    plain.add_source(key2, src).expect("bootstrap");
+    assert!(
+        plain.watchdog_flags().is_empty(),
+        "unarmed watchdog is empty"
+    );
+    for (&d, watched_r) in dests.iter().zip(&watched_results) {
+        let plain_r = plain.request(key2, d, src).expect("served");
+        assert_eq!(plain_r.status, watched_r.status);
+        let hops = |r: &revtr::RevtrResult| -> Vec<Option<Addr>> {
+            r.hops.iter().map(|h| h.addr).collect()
+        };
+        assert_eq!(hops(&plain_r), hops(watched_r), "watchdog changed a path");
+    }
+}

@@ -19,6 +19,18 @@
 //!   sampled request traces land in a bounded, order-independent JSONL
 //!   [`Journal`].
 //!
+//! On top of the raw telemetry sit the judgment and export layers:
+//!
+//! - [`slo`]: a declarative SLO rule engine (thresholds, quantile bounds,
+//!   virtual-time burn-rate windows) whose failing verdicts are typed
+//!   [`Alert`]s fired into the registry *after* fingerprinting.
+//! - [`chrome_trace_json`] / [`prometheus_text`]: byte-deterministic
+//!   Chrome-trace and Prometheus exports of the journal and snapshot.
+//! - A stuck-request watchdog ([`TelemetryConfig::watchdog_deadline_ms`]):
+//!   requests overrunning a virtual deadline are flagged — never killed —
+//!   with the deepest span open at the deadline, in a store separate from
+//!   the metrics so arming it cannot change a campaign's fingerprint.
+//!
 //! The handle is designed to be free when disabled (the default): it is a
 //! single `Option<Arc<..>>` and every recording method is a branch on
 //! `None`. The workspace's metamorphic suite asserts the stronger
@@ -28,15 +40,19 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
+mod export;
 mod histogram;
 mod journal;
 mod registry;
+pub mod slo;
 mod span;
 
+pub use export::{chrome_trace_json, parse_prometheus, prometheus_text, PromSample};
 pub use histogram::Histogram;
 pub use journal::{Journal, RequestRecord, SpanRecord};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
-pub use span::{RequestScope, SpanToken, Telemetry, TelemetryConfig};
+pub use slo::{Alert, RuleExpr, Severity, SloInput, SloPolicy, SloReport, SloRule, Verdict};
+pub use span::{RequestScope, SpanToken, Telemetry, TelemetryConfig, WatchdogFlag};
 
 /// FNV-1a 64-bit hasher used for metrics/journal fingerprints.
 ///

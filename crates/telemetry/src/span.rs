@@ -15,6 +15,7 @@
 use crate::journal::{Journal, RequestRecord, SpanRecord};
 use crate::mix_key;
 use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Tuning knobs for an enabled telemetry handle.
@@ -24,17 +25,49 @@ pub struct TelemetryConfig {
     /// `(dst, src)`, so the sampled *set* is interleaving-independent).
     /// 1 = journal every request.
     pub journal_sample_every: u64,
-    /// Read-time cap on rendered journal entries.
+    /// Read-time cap on rendered journal entries. The default (4096)
+    /// comfortably covers the standard campaign scale, so SLO windows and
+    /// trace exports see every sampled request.
     pub journal_cap: usize,
+    /// Stuck-request watchdog: a finished request whose end-to-end
+    /// virtual duration exceeds this deadline is flagged (never killed)
+    /// together with the deepest span still open at the deadline.
+    /// `None` (the default) disables the watchdog. Flags land in a
+    /// dedicated store, *not* the metrics registry, so arming the
+    /// watchdog cannot change a campaign's metrics fingerprint.
+    pub watchdog_deadline_ms: Option<f64>,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> TelemetryConfig {
         TelemetryConfig {
             journal_sample_every: 1,
-            journal_cap: 256,
+            journal_cap: 4096,
+            watchdog_deadline_ms: None,
         }
     }
+}
+
+/// One stuck-request watchdog flag: a request that overran the virtual
+/// deadline, with the deepest span still open when the deadline passed
+/// (the stage the request was stuck *in*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogFlag {
+    /// Destination address of the flagged request.
+    pub dst: u32,
+    /// Source address of the flagged request.
+    pub src: u32,
+    /// The request's final status label.
+    pub status: &'static str,
+    /// End-to-end virtual microseconds the request actually took.
+    pub virtual_us: u64,
+    /// The deadline it overran, in virtual microseconds.
+    pub deadline_us: u64,
+    /// Deepest span open at the deadline (`"request"` when the overrun
+    /// happened outside any stage span).
+    pub stage: &'static str,
+    /// Virtual microseconds from request start to that span's entry.
+    pub stage_t_us: u64,
 }
 
 #[derive(Debug)]
@@ -42,6 +75,8 @@ struct Inner {
     registry: MetricsRegistry,
     journal: Journal,
     sample_every: u64,
+    watchdog_deadline_us: Option<u64>,
+    watchdog: Mutex<Vec<WatchdogFlag>>,
 }
 
 /// A cloneable, shareable telemetry handle. `Telemetry::disabled()` is
@@ -59,7 +94,7 @@ impl Telemetry {
     }
 
     /// An enabled handle with default config (journal every request,
-    /// 256-entry rendered cap).
+    /// 4096-entry rendered cap, watchdog off).
     pub fn enabled() -> Telemetry {
         Telemetry::with_config(TelemetryConfig::default())
     }
@@ -71,6 +106,10 @@ impl Telemetry {
                 registry: MetricsRegistry::new(),
                 journal: Journal::new(cfg.journal_cap),
                 sample_every: cfg.journal_sample_every.max(1),
+                watchdog_deadline_us: cfg
+                    .watchdog_deadline_ms
+                    .map(|ms| (ms.max(0.0) * 1000.0).round() as u64),
+                watchdog: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -151,6 +190,25 @@ impl Telemetry {
             Some(inner) => inner.journal.fingerprint(),
             None => 0,
         }
+    }
+
+    /// The stuck-request watchdog flags, sorted by `(src, dst, stage)` so
+    /// the report is insertion-order (and worker-count) independent.
+    /// Empty when disabled or when no deadline was configured.
+    pub fn watchdog_flags(&self) -> Vec<WatchdogFlag> {
+        match &self.inner {
+            Some(inner) => {
+                let mut flags = inner.watchdog.lock().clone();
+                flags.sort_by_key(|f| (f.src, f.dst, f.stage));
+                flags
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The configured watchdog deadline in virtual microseconds, if armed.
+    pub fn watchdog_deadline_us(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|i| i.watchdog_deadline_us)
     }
 }
 
@@ -248,6 +306,39 @@ impl RequestScope {
         while let Some(idx) = a.stack.pop() {
             if let Some(span) = a.spans.get_mut(idx) {
                 span.dur_us = total_us.saturating_sub(span.t_us);
+            }
+        }
+
+        // Watchdog: flag (never kill) a request that overran the virtual
+        // deadline, attributing it to the deepest span still open at the
+        // deadline instant. Flags go to their own store — arming the
+        // watchdog must not perturb the metrics fingerprint.
+        if let Some(deadline_us) = a.tele.watchdog_deadline_us {
+            if total_us > deadline_us {
+                let mut stage: &'static str = "request";
+                let mut stage_t_us = 0u64;
+                let mut best_depth = 0u32;
+                for span in &a.spans {
+                    let open_at_deadline =
+                        span.t_us <= deadline_us && deadline_us < span.t_us + span.dur_us;
+                    if open_at_deadline
+                        && (span.depth + 1 > best_depth
+                            || (span.depth + 1 == best_depth && span.t_us >= stage_t_us))
+                    {
+                        best_depth = span.depth + 1;
+                        stage = span.stage;
+                        stage_t_us = span.t_us;
+                    }
+                }
+                a.tele.watchdog.lock().push(WatchdogFlag {
+                    dst: a.dst,
+                    src: a.src,
+                    status,
+                    virtual_us: total_us,
+                    deadline_us,
+                    stage,
+                    stage_t_us,
+                });
             }
         }
 
@@ -361,10 +452,75 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_flags_overruns_with_the_deepest_open_span() {
+        let cfg = TelemetryConfig {
+            watchdog_deadline_ms: Some(10.0),
+            ..TelemetryConfig::default()
+        };
+        let t = Telemetry::with_config(cfg);
+        assert_eq!(t.watchdog_deadline_us(), Some(10_000));
+
+        // Fast request: under the deadline, never flagged.
+        t.request(1, 2, 0.0).finish("Complete", 5.0);
+        assert!(t.watchdog_flags().is_empty());
+
+        // Stuck request: the deadline (10 ms) passes inside rr_spoofed
+        // (depth 1, open 4..14 ms) nested in rr_step (0..14 ms).
+        let fp_before = t.metrics_fingerprint();
+        let mut req = t.request(9, 2, 100.0);
+        let outer = req.enter("rr_step", 100.0);
+        let inner = req.enter("rr_spoofed", 104.0);
+        req.exit(inner, 114.0, &[]);
+        req.exit(outer, 114.0, &[]);
+        req.finish("Complete", 115.0);
+
+        let flags = t.watchdog_flags();
+        assert_eq!(flags.len(), 1);
+        let f = &flags[0];
+        assert_eq!((f.dst, f.src), (9, 2));
+        assert_eq!(f.stage, "rr_spoofed");
+        assert_eq!(f.stage_t_us, 4_000);
+        assert_eq!(f.virtual_us, 15_000);
+        assert_eq!(f.deadline_us, 10_000);
+
+        // Watchdog flags live outside the registry: the second request
+        // changed the metrics, but flagging itself added no metric —
+        // an identical unarmed handle records the same snapshot.
+        let unarmed = Telemetry::enabled();
+        unarmed.request(1, 2, 0.0).finish("Complete", 5.0);
+        let mut req = unarmed.request(9, 2, 100.0);
+        let outer = req.enter("rr_step", 100.0);
+        let inner = req.enter("rr_spoofed", 104.0);
+        req.exit(inner, 114.0, &[]);
+        req.exit(outer, 114.0, &[]);
+        req.finish("Complete", 115.0);
+        assert!(unarmed.watchdog_flags().is_empty());
+        assert_eq!(t.metrics_fingerprint(), unarmed.metrics_fingerprint());
+        assert_ne!(t.metrics_fingerprint(), fp_before);
+    }
+
+    #[test]
+    fn watchdog_overrun_outside_any_stage_blames_the_request() {
+        let cfg = TelemetryConfig {
+            watchdog_deadline_ms: Some(1.0),
+            ..TelemetryConfig::default()
+        };
+        let t = Telemetry::with_config(cfg);
+        let mut req = t.request(5, 6, 0.0);
+        let tok = req.enter("destination_probe", 0.0);
+        req.exit(tok, 0.5, &[]); // closed before the deadline
+        req.finish("Complete", 3.0); // overruns with no span open
+        let flags = t.watchdog_flags();
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].stage, "request");
+    }
+
+    #[test]
     fn sampling_is_a_pure_function_of_the_key() {
         let cfg = TelemetryConfig {
             journal_sample_every: 3,
             journal_cap: 256,
+            watchdog_deadline_ms: None,
         };
         let a = Telemetry::with_config(cfg.clone());
         let b = Telemetry::with_config(cfg);

@@ -12,4 +12,5 @@ pub use revtr_eval as eval;
 pub use revtr_netsim as netsim;
 pub use revtr_probing as probing;
 pub use revtr_service as service;
+pub use revtr_telemetry as telemetry;
 pub use revtr_vpselect as vpselect;

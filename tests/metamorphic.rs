@@ -357,6 +357,83 @@ fn telemetry_metrics_and_journal_are_deterministic() {
 }
 
 #[test]
+fn slo_verdicts_and_exports_are_worker_count_invariant() {
+    // The PR-5 judgment layer inherits telemetry's interleaving
+    // independence: on a warm shared prober, a serial and an 8-worker
+    // campaign produce byte-identical Chrome-trace / Prometheus exports
+    // and identical SLO verdicts.
+    use revtr_suite::telemetry::{chrome_trace_json, prometheus_text, SloInput, SloPolicy};
+
+    let policy = SloPolicy::parse_toml(
+        r#"
+        [[rule]]
+        name = "requests-present"
+        kind = "counter_max"
+        counter = "probing.transient_lost"
+        max = 0
+
+        [[rule]]
+        name = "request-p99"
+        kind = "quantile_max"
+        histogram = "request.virtual_us"
+        q = 0.99
+        max = 400000000
+
+        [[rule]]
+        name = "burn"
+        kind = "burn_rate"
+        window_ms = 600000.0
+        slow_ms = 120000.0
+        budget = 0.05
+        max_burn = 20.0
+        "#,
+    )
+    .expect("policy parses");
+
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let shared = Prober::new(&sim);
+        let _ = run_with_prober(&sim, shared.clone(), 1); // warm caches
+
+        let judge = |workers: usize| {
+            let tele = Telemetry::enabled();
+            let _ = run_with_prober(&sim, shared.with_telemetry(tele.clone()), workers);
+            let snapshot = tele.metrics();
+            let journal = tele.journal_records();
+            let report = policy.evaluate(&SloInput {
+                snapshot: &snapshot,
+                requests: &journal,
+                derived: &[],
+            });
+            (
+                chrome_trace_json(&journal),
+                prometheus_text(&snapshot),
+                format!("{:?}", report.verdicts),
+            )
+        };
+        let serial = judge(1);
+        let parallel = judge(8);
+        assert_eq!(
+            serial.0, parallel.0,
+            "chrome trace depends on worker count (seed {seed})"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "prometheus exposition depends on worker count (seed {seed})"
+        );
+        assert_eq!(
+            serial.2, parallel.2,
+            "SLO verdicts depend on worker count (seed {seed})"
+        );
+        assert!(
+            serial.2.contains("pass: true"),
+            "expected at least one passing verdict (seed {seed}): {}",
+            serial.2
+        );
+    }
+}
+
+#[test]
 fn atlas_shrink_is_coverage_monotone_and_accuracy_stable() {
     for seed in SEEDS {
         let sim = Sim::build(base_cfg(), seed);
