@@ -78,13 +78,29 @@ echo "$faulted_out" | grep -q 'stuck-requests' || { echo "stuck-request alert mi
 echo "$faulted_out" | tail -n 1
 
 # Perf-regression sentinel: re-run the standard benchmark and compare
-# against the committed BENCH_PR5.json baseline (bench-compare exits
+# against the committed BENCH_PR6.json baseline (bench-compare exits
 # nonzero past tolerance).
-echo "== perf-regression sentinel (release, standard seed 1 vs BENCH_PR5.json) =="
-bench_new=$(mktemp /tmp/bench_pr5.XXXXXX.json)
+echo "== perf-regression sentinel (release, standard seed 1 vs BENCH_PR6.json) =="
+bench_new=$(mktemp /tmp/bench_pr6.XXXXXX.json)
 ./target/release/revtr-cli bench-report --scale standard --seed 1 --file "$bench_new"
-./target/release/revtr-cli bench-compare BENCH_PR5.json "$bench_new" | tail -n 1
+./target/release/revtr-cli bench-compare BENCH_PR6.json "$bench_new" | tail -n 1
 rm -f "$bench_new"
+
+# Concurrency gate: the event loop must sustain 50 000 in-flight reverse
+# traceroutes in one campaign (revtr-cli exits nonzero if any request is
+# dropped or the peak falls short).
+echo "== concurrency smoke gate (release, 50k in flight) =="
+./target/release/revtr-cli concurrency-smoke --inflight 50000 | tail -n 1
+
+# Engine A/B gate: the event loop must not be slower than the scoped
+# thread pool it replaced on the standard campaign (the identical
+# workload at requested width 8; fingerprint-equal by the metamorphic
+# suite above). The verdict is a paired-median wall ratio with a 5%
+# noise allowance; one fresh-process retry, because per-process code
+# layout alone can bias sub-second walls past the allowance.
+echo "== engine A/B gate (release, standard seed 1, w8 vs q8) =="
+./target/release/revtr-cli engine-ab --scale standard --seed 1 --workers 8 | tail -n 1 \
+  || ./target/release/revtr-cli engine-ab --scale standard --seed 1 --workers 8 | tail -n 1
 
 # Standard-scale metrics golden (seed 42): TSV bytes and campaign
 # fingerprints pinned under crates/eval/tests/goldens/standard42.
@@ -92,7 +108,9 @@ echo "== metrics golden gate (release, standard seed 42) =="
 cargo test -q --release -p revtr-eval --test metrics_golden -- --ignored
 
 echo "== cargo clippy --all-targets -- -D warnings =="
-cargo clippy --all-targets -- -D warnings
+# -D clippy::disallowed-methods enforces clippy.toml: no wall-clock
+# sleeps, no free thread spawns (the engine is an event loop).
+cargo clippy --all-targets -- -D warnings -D clippy::disallowed-methods
 
 # The audit crate is the arbiter of everyone else's soundness, and the
 # telemetry crate sits inside every hot path: both are additionally held

@@ -1,0 +1,817 @@
+//! The event-driven measurement engine.
+//!
+//! Each in-flight reverse traceroute is a [`MeasureTask`]: a small control
+//! block holding the stitching state (current hop, path set, stitch trace,
+//! open telemetry spans) and an explicit [`Phase`] enum mirroring the
+//! stages the telemetry layer already instruments — destination probe →
+//! atlas intersection → rr / spoofed-rr rounds → ts → assume-symmetry.
+//! [`MeasureTask::step`] advances the block by exactly one stage (or one
+//! spoofed-batch round, the virtual 10 s timer of §5.2.4) and then yields,
+//! so a campaign of 50k+ concurrent revtrs costs 50k control blocks and
+//! zero parked threads.
+//!
+//! [`RevtrSystem::run_campaign`] schedules the blocks on a virtual-time
+//! priority queue. The loop is seed-deterministic: events are ordered by
+//! `(virtual time, request id, sequence)` — the `total_cmp` on time plus
+//! the fixed id/sequence tie-break makes the schedule a pure function of
+//! the inputs, never of OS thread timing. And because a task's own probe
+//! sequence is the same under any schedule, campaign fingerprints and
+//! per-request probe counters are identical to the serial driver
+//! ([`RevtrSystem::measure`]) whenever cross-request coupling (route
+//! churn) is disabled — the property the metamorphic suite pins.
+//!
+//! Per-task attribution across a shared OS thread uses the clock's and
+//! counters' *shadow swap*: the loop swaps each task's private shadow
+//! accumulators in around `step`, so `thread_ms`/`thread_snapshot` diffs
+//! taken inside a measurement see exactly the same addends, in the same
+//! order, as a dedicated thread would — bitwise.
+
+use crate::config::SymmetryPolicy;
+use crate::result::{
+    Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
+    StitchTrace,
+};
+use crate::system::{RevtrSystem, RrFound, RrMachine, RrProgress, StageStart};
+use revtr_atlas::SourceAtlas;
+use revtr_netsim::{Addr, PrefixId};
+use revtr_probing::{RequestScope, Snapshot};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// How the event loop forms its dispatch rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Fill a round: drain up to `quantum` due events in deadline order
+    /// before consulting the queue again (the throughput-oriented
+    /// policy; `quantum` plays the role the worker count used to).
+    FillFirst,
+    /// Deadline-first: always dispatch only the single earliest event
+    /// (the latency-oriented policy; equivalent to `FillFirst` with
+    /// `quantum = 1`).
+    DeadlineFirst,
+}
+
+/// Event-loop tuning. Campaign *results* are invariant to these knobs
+/// (the metamorphic suite asserts it); only the dispatch schedule — and
+/// under enabled route churn, the churn-flush interleaving — changes.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopConfig {
+    /// Events dispatched per round under [`BatchPolicy::FillFirst`].
+    pub quantum: usize,
+    /// Round-formation policy.
+    pub policy: BatchPolicy,
+    /// Dispatch workers. `1` (the default) runs the loop fully serial
+    /// with `quantum`/`policy` round formation — the reproducible
+    /// schedule the metrics goldens pin. More workers switch to a
+    /// work-conserving earliest-deadline-first pool: each scoped thread
+    /// pops the globally earliest event and steps it, so `quantum` and
+    /// `policy` are moot and the realized interleaving is OS-dependent —
+    /// but campaign *results* are bit-identical to the serial loop's,
+    /// because per-request shadow attribution and the striped caches'
+    /// single-flight fills make a measurement's outcome independent of
+    /// its neighbours' scheduling (the invariance the old
+    /// thread-per-batch engine's w1==w8 gate proved, pinned again by the
+    /// metamorphic suite's dispatch-workers arm).
+    pub workers: usize,
+}
+
+impl Default for LoopConfig {
+    fn default() -> LoopConfig {
+        LoopConfig {
+            quantum: 8,
+            policy: BatchPolicy::FillFirst,
+            workers: 1,
+        }
+    }
+}
+
+impl LoopConfig {
+    /// The production dispatch shape: a small earliest-deadline-first
+    /// worker pool over the shared schedule. Results are identical to
+    /// [`LoopConfig::default`]; cache *counter* noise (which concurrent
+    /// step wins a single-flight fill) is not reproducible, which is why
+    /// golden-pinned paths use the serial default.
+    pub fn parallel() -> LoopConfig {
+        LoopConfig {
+            quantum: 64,
+            policy: BatchPolicy::FillFirst,
+            workers: 8,
+        }
+    }
+}
+
+/// What a campaign run produced, with the loop's own accounting.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-pair results, in input order.
+    pub results: Vec<RevtrResult>,
+    /// Peak number of admitted-but-unfinished measurements. The loop
+    /// admits the whole campaign up front — concurrency costs a control
+    /// block, not a thread — so this equals the campaign size.
+    pub inflight_peak: usize,
+    /// Total control-block steps dispatched.
+    pub events: u64,
+}
+
+/// Size in bytes of one in-flight measurement's control block (excluding
+/// its heap-owned path state, which grows with the stitched path). The
+/// concurrency smoke reports this: 50k+ in-flight measurements cost 50k
+/// control blocks, not 50k thread stacks.
+pub fn task_footprint_bytes() -> usize {
+    std::mem::size_of::<MeasureTask>()
+}
+
+/// Priority-queue key: virtual ready-time with the deterministic
+/// `(request id, sequence)` tie-break.
+struct EventKey {
+    vtime: f64,
+    id: usize,
+    seq: u64,
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &EventKey) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &EventKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &EventKey) -> std::cmp::Ordering {
+        self.vtime
+            .total_cmp(&other.vtime)
+            .then(self.id.cmp(&other.id))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Where a control block resumes on its next step. The variants track the
+/// stage spans PR 4's telemetry already names; `Rr`/`RrVerify` park the
+/// mid-flight spoofed-batch machine across the virtual 10 s timer.
+enum Phase {
+    /// Atlas lookup, request-scope open, destination probe.
+    Start,
+    /// Top of the stitching loop: hop budget, reached-check, atlas
+    /// intersection, and the beginning of the RR step.
+    StitchLoop,
+    /// Spoofed-RR rounds of the primary RR step.
+    Rr(RrMachine),
+    /// Spoofed-RR rounds of the Appx. E verification re-probe.
+    RrVerify {
+        /// The primary step's (already concluded) discovery.
+        found: RrFound,
+        /// The open `rr_verify` span.
+        vspan: StageStart,
+        /// The hop the re-probe must reconfirm (`rev[1]`).
+        expected: Addr,
+        /// The nested step's spoofed-round state.
+        m: RrMachine,
+    },
+    /// Adopt the RR step's hops, or fall through to ts/symmetry.
+    RrAdopt(Option<RrFound>),
+    /// Timestamp adjacency tests (revtr 1.0 only).
+    Ts,
+    /// Traceroute + symmetry assumption / interdomain abort.
+    Symmetry,
+    /// Terminal: the result has been produced.
+    Done,
+}
+
+/// The per-measurement control block: one in-flight reverse traceroute.
+pub(crate) struct MeasureTask {
+    dst: Addr,
+    src: Addr,
+    src_prefix: Option<PrefixId>,
+    atlas: Option<Arc<SourceAtlas>>,
+    req: Option<RequestScope>,
+    t0_thread_ms: f64,
+    snap0: Snapshot,
+    stats: RevtrStats,
+    trace: StitchTrace,
+    hops: Vec<RevtrHop>,
+    path_set: HashSet<Addr>,
+    cur: Addr,
+    iters: usize,
+    phase: Phase,
+    /// Private virtual-time shadow, swapped in around each step (also the
+    /// task's ready-time key in the event loop's priority queue).
+    pub(crate) shadow_ms: f64,
+    /// Private probe-counter shadow, swapped in around each step.
+    pub(crate) shadow_snap: Snapshot,
+}
+
+impl MeasureTask {
+    /// A control block at the starting line. Does not probe; the first
+    /// [`MeasureTask::step`] does.
+    pub(crate) fn new(dst: Addr, src: Addr) -> MeasureTask {
+        MeasureTask {
+            dst,
+            src,
+            src_prefix: None,
+            atlas: None,
+            req: None,
+            t0_thread_ms: 0.0,
+            snap0: Snapshot::default(),
+            stats: RevtrStats::default(),
+            trace: StitchTrace::default(),
+            hops: Vec::new(),
+            path_set: HashSet::new(),
+            cur: dst,
+            iters: 0,
+            phase: Phase::Start,
+            shadow_ms: 0.0,
+            shadow_snap: Snapshot::default(),
+        }
+    }
+
+    /// Advance the measurement by one stage (or one spoofed-batch round).
+    /// Returns the finished result, or `None` when the block yielded.
+    pub(crate) fn step(&mut self, sys: &RevtrSystem<'_>) -> Option<RevtrResult> {
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Start => self.start(sys),
+            Phase::StitchLoop => self.stitch_head(sys),
+            Phase::Rr(m) => self.rr_pending(sys, m),
+            Phase::RrVerify {
+                found,
+                vspan,
+                expected,
+                m,
+            } => self.verify_pending(sys, found, vspan, expected, m),
+            Phase::RrAdopt(found) => self.adopt(sys, found),
+            Phase::Ts => self.ts(sys),
+            Phase::Symmetry => self.symmetry(sys),
+            Phase::Done => unreachable!("stepped a finished measurement"),
+        }
+    }
+
+    /// Seal the result: durations and probe deltas are diffs of the
+    /// *thread-shadow* accumulators around the measurement, so they
+    /// attribute exactly this task's own charges under any scheduling.
+    fn finish(&mut self, sys: &RevtrSystem<'_>, status: Status) -> RevtrResult {
+        let prober = sys.prober();
+        self.stats.duration_s = (prober.clock().thread_ms() - self.t0_thread_ms) / 1000.0;
+        self.stats.probes =
+            ProbeDelta::from_snapshot(&prober.counters().thread_snapshot().since(&self.snap0));
+        if let Some(req) = self.req.as_mut() {
+            req.finish(status.label(), prober.clock().thread_ms());
+        }
+        let mut r = RevtrResult {
+            dst: self.dst,
+            src: self.src,
+            status,
+            hops: std::mem::take(&mut self.hops),
+            stats: self.stats,
+            trace: std::mem::take(&mut self.trace),
+        };
+        sys.flag_suspicious(&mut r);
+        r
+    }
+
+    fn start(&mut self, sys: &RevtrSystem<'_>) -> Option<RevtrResult> {
+        let atlas = sys.atlas(self.src);
+        let prober = sys.prober();
+        self.t0_thread_ms = prober.clock().thread_ms();
+        // Thread-shadow snapshot: the loop swaps this task's private
+        // shadow in around each step, so the diff at finish attributes
+        // exactly its own probes even with 50k concurrent measurements.
+        self.snap0 = prober.counters().thread_snapshot();
+        self.src_prefix = sys.sim().host_prefix(self.src);
+        // Telemetry request scope (inert unless the prober carries an
+        // enabled handle). The origin is this task's virtual time, so
+        // span offsets are invariant to concurrent measurements' advances.
+        let mut req =
+            prober
+                .telemetry()
+                .request(self.dst.0, self.src.0, prober.clock().thread_ms());
+
+        // The destination must answer something.
+        let st = sys.stage_enter(&mut req, "destination_probe");
+        let answered = prober.ping(self.src, self.dst).is_some();
+        sys.stage_exit(&mut req, st, &[("answered", u64::from(answered))]);
+        self.req = Some(req);
+        self.atlas = Some(atlas);
+        if !answered {
+            self.trace.end = Some(StitchEnd::Unresponsive);
+            return Some(self.finish(sys, Status::Unresponsive));
+        }
+
+        self.hops.push(RevtrHop {
+            addr: Some(self.dst),
+            method: HopMethod::Destination,
+            suspicious_gap_before: false,
+        });
+        self.trace.entries.push(Evidence::Destination);
+        self.path_set.insert(self.dst);
+        self.cur = self.dst;
+        self.phase = Phase::StitchLoop;
+        None
+    }
+
+    fn stitch_head(&mut self, sys: &RevtrSystem<'_>) -> Option<RevtrResult> {
+        if self.iters == sys.config().max_path_hops {
+            self.trace.end = Some(StitchEnd::HopBudget);
+            return Some(self.finish(sys, Status::Stuck));
+        }
+        self.iters += 1;
+        if sys.reached(self.cur, self.src, self.src_prefix) {
+            self.trace.end = Some(StitchEnd::ReachedSource);
+            return Some(self.finish(sys, Status::Complete));
+        }
+
+        // 1. Atlas intersection.
+        let atlas = self.atlas.clone().expect("atlas resolved in Start");
+        let atlas_span = sys.stage_enter(self.req_mut(), "atlas_intersection");
+        if let Some(inter) = sys.lookup_intersection(self.src, &atlas, self.cur) {
+            sys.note_intersection_usage(self.src, inter.trace);
+            self.stats.intersected_trace = Some(inter.trace);
+            self.stats.intersected_hop = Some(inter.hop);
+            self.stats.intersected_trace_age_h =
+                Some(atlas.trace_age_hours(inter, sys.sim().now_hours()));
+            let t = &atlas.traces[inter.trace];
+            let suffix = atlas.suffix(inter);
+            for (i, h) in suffix.iter().enumerate() {
+                if i == 0 && *h == Some(self.cur) {
+                    continue; // already in the path
+                }
+                self.stats.atlas_hops += 1;
+                self.trace.entries.push(if i == 0 {
+                    // An alias join: this hop's address differs from
+                    // `cur` but names the same router (or /30 link).
+                    Evidence::AtlasIntersection {
+                        source: self.src,
+                        vp: t.vp,
+                        at_hours: t.at_hours,
+                        joined: self.cur,
+                    }
+                } else {
+                    Evidence::TrToSource {
+                        source: self.src,
+                        vp: t.vp,
+                        at_hours: t.at_hours,
+                    }
+                });
+                self.hops.push(RevtrHop {
+                    addr: *h,
+                    method: HopMethod::AtlasIntersection,
+                    suspicious_gap_before: false,
+                });
+            }
+            let atlas_hops = u64::from(self.stats.atlas_hops);
+            sys.stage_exit(
+                self.req_mut(),
+                atlas_span,
+                &[("hit", 1), ("atlas_hops", atlas_hops)],
+            );
+            self.trace.end = Some(StitchEnd::AtlasSuffix);
+            return Some(self.finish(sys, Status::Complete));
+        }
+        sys.stage_exit(self.req_mut(), atlas_span, &[("hit", 0)]);
+
+        // 2. Record route (direct probe now; spoofed rounds event-driven).
+        let req = self.req.as_mut().expect("request scope opened in Start");
+        match sys.rr_begin(self.cur, self.src, &self.path_set, &mut self.stats, req) {
+            RrProgress::Done(found) => self.after_primary_rr(sys, found),
+            RrProgress::Pending(m) => self.phase = Phase::Rr(m),
+        }
+        None
+    }
+
+    fn rr_pending(&mut self, sys: &RevtrSystem<'_>, mut m: RrMachine) -> Option<RevtrResult> {
+        let req = self.req.as_mut().expect("request scope opened in Start");
+        match sys.rr_round(&mut m, self.src, &self.path_set, &mut self.stats, req) {
+            None => self.phase = Phase::Rr(m),
+            Some(found) => self.after_primary_rr(sys, found),
+        }
+        None
+    }
+
+    /// The primary RR step concluded: start the Appx. E verification
+    /// re-probe when configured and applicable, else go adopt.
+    fn after_primary_rr(&mut self, sys: &RevtrSystem<'_>, found: Option<RrFound>) {
+        if sys.config().verify_dbr {
+            if let Some(f) = found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
+                // Appx. E optional mode: re-probe the first revealed hop
+                // and confirm the chain continues the same way. The
+                // comparison is against the *immediate* next hop: a
+                // source-dependent router sends the two probes' replies
+                // down different links right away, and a weaker
+                // "appears anywhere later" check misses detours that
+                // reconverge within a hop or two.
+                if let Some(first) = f.0.first().copied().filter(|a| !a.is_private()) {
+                    let expected = f.0[1];
+                    let vspan = sys.stage_enter(self.req_mut(), "rr_verify");
+                    let req = self.req.as_mut().expect("request scope opened in Start");
+                    match sys.rr_begin(first, self.src, &self.path_set, &mut self.stats, req) {
+                        RrProgress::Done(v) => {
+                            self.close_verify(sys, v, expected, vspan);
+                            self.phase = Phase::RrAdopt(found);
+                        }
+                        RrProgress::Pending(m) => {
+                            self.phase = Phase::RrVerify {
+                                found: found.expect("filter above matched Some"),
+                                vspan,
+                                expected,
+                                m,
+                            };
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        self.phase = Phase::RrAdopt(found);
+    }
+
+    fn verify_pending(
+        &mut self,
+        sys: &RevtrSystem<'_>,
+        found: RrFound,
+        vspan: StageStart,
+        expected: Addr,
+        mut m: RrMachine,
+    ) -> Option<RevtrResult> {
+        let req = self.req.as_mut().expect("request scope opened in Start");
+        match sys.rr_round(&mut m, self.src, &self.path_set, &mut self.stats, req) {
+            None => {
+                self.phase = Phase::RrVerify {
+                    found,
+                    vspan,
+                    expected,
+                    m,
+                };
+            }
+            Some(v) => {
+                self.close_verify(sys, v, expected, vspan);
+                self.phase = Phase::RrAdopt(Some(found));
+            }
+        }
+        None
+    }
+
+    fn close_verify(
+        &mut self,
+        sys: &RevtrSystem<'_>,
+        v: Option<RrFound>,
+        expected: Addr,
+        vspan: StageStart,
+    ) {
+        let verify = v.map(|(h, _, _)| h).unwrap_or_default();
+        if let Some(&h0) = verify.first() {
+            if h0 != expected && !sys.hop_match(h0, expected) {
+                self.stats.dbr_violation_detected = true;
+            }
+        }
+        let violation = u64::from(self.stats.dbr_violation_detected);
+        sys.stage_exit(self.req_mut(), vspan, &[("violation", violation)]);
+    }
+
+    fn adopt(&mut self, sys: &RevtrSystem<'_>, found: Option<RrFound>) -> Option<RevtrResult> {
+        if let Some((rev, prov, spoofed)) = found {
+            let method = if spoofed {
+                HopMethod::SpoofedRecordRoute
+            } else {
+                HopMethod::RecordRoute
+            };
+            for &h in &rev {
+                self.path_set.insert(h);
+                self.trace.entries.push(if spoofed {
+                    Evidence::SpoofedRecordRoute { prov }
+                } else {
+                    Evidence::RecordRoute { prov }
+                });
+                self.hops.push(RevtrHop {
+                    addr: Some(h),
+                    method,
+                    suspicious_gap_before: false,
+                });
+            }
+            // Continue from the last routable hop.
+            if let Some(&next) = rev.iter().rev().find(|a| !a.is_private()) {
+                self.cur = next;
+                self.phase = Phase::StitchLoop;
+                return None;
+            }
+        }
+        self.phase = if sys.config().use_timestamp {
+            Phase::Ts
+        } else {
+            Phase::Symmetry
+        };
+        None
+    }
+
+    fn ts(&mut self, sys: &RevtrSystem<'_>) -> Option<RevtrResult> {
+        let ts_span = sys.stage_enter(self.req_mut(), "ts_step");
+        let adj = sys.ts_step(self.cur, self.src, &self.path_set);
+        let found = u64::from(adj.is_some());
+        sys.stage_exit(self.req_mut(), ts_span, &[("found", found)]);
+        if let Some(adj) = adj {
+            self.path_set.insert(adj);
+            self.trace.entries.push(Evidence::Timestamp {
+                tested_from: self.cur,
+            });
+            self.hops.push(RevtrHop {
+                addr: Some(adj),
+                method: HopMethod::Timestamp,
+                suspicious_gap_before: false,
+            });
+            self.cur = adj;
+            self.phase = Phase::StitchLoop;
+        } else {
+            self.phase = Phase::Symmetry;
+        }
+        None
+    }
+
+    fn symmetry(&mut self, sys: &RevtrSystem<'_>) -> Option<RevtrResult> {
+        let policy = sys.config().symmetry;
+        let sym_span = sys.stage_enter(self.req_mut(), "assume_symmetry");
+        let sym = sys.symmetry_step(self.cur, self.src);
+        let adopted = sym.as_ref().is_some_and(|d| {
+            !(self.path_set.contains(&d.penult)
+                || d.interdomain && policy == SymmetryPolicy::IntradomainOnly)
+        });
+        let interdomain = sym.as_ref().map_or(0, |d| u64::from(d.interdomain));
+        sys.stage_exit(
+            self.req_mut(),
+            sym_span,
+            &[
+                ("adopted", u64::from(adopted)),
+                ("interdomain", interdomain),
+            ],
+        );
+        let Some(d) = sym else {
+            self.trace.end = Some(StitchEnd::Stuck);
+            return Some(self.finish(sys, Status::Stuck));
+        };
+        if self.path_set.contains(&d.penult) {
+            self.trace.end = Some(StitchEnd::Stuck);
+            return Some(self.finish(sys, Status::Stuck));
+        }
+        if d.interdomain && policy == SymmetryPolicy::IntradomainOnly {
+            self.trace.end = Some(StitchEnd::AbortInterdomain {
+                cur: self.cur,
+                penult: d.penult,
+                cur_as: d.cur_as,
+                penult_as: d.penult_as,
+            });
+            return Some(self.finish(sys, Status::AbortedInterdomain));
+        }
+        self.stats.assumed_symmetric += 1;
+        if d.interdomain {
+            self.stats.assumed_interdomain += 1;
+        }
+        self.path_set.insert(d.penult);
+        self.trace.entries.push(Evidence::AssumedSymmetric {
+            cur: self.cur,
+            penult: d.penult,
+            cur_as: d.cur_as,
+            penult_as: d.penult_as,
+            interdomain: d.interdomain,
+            policy,
+        });
+        self.hops.push(RevtrHop {
+            addr: Some(d.penult),
+            method: HopMethod::AssumedSymmetric,
+            suspicious_gap_before: false,
+        });
+        self.cur = d.penult;
+        self.phase = Phase::StitchLoop;
+        None
+    }
+
+    fn req_mut(&mut self) -> &mut RequestScope {
+        self.req.as_mut().expect("request scope opened in Start")
+    }
+}
+
+impl<'s> RevtrSystem<'s> {
+    /// Run a whole campaign on the deterministic virtual event loop.
+    ///
+    /// Every `(dst, src)` pair is admitted up front as a control block at
+    /// virtual time zero; the loop then repeatedly pops the earliest
+    /// event — ordered by `(virtual time, request id, sequence)` — and
+    /// advances that block one stage or one spoofed-batch round. Spoofed
+    /// 10 s collection timeouts thus interleave across requests instead
+    /// of each parking a worker thread.
+    ///
+    /// Results come back in input order. A panicking measurement aborts
+    /// the campaign and surfaces as `Err` with the panic payload (the
+    /// thread-shadow accumulators are restored first, so the system stays
+    /// usable).
+    pub fn run_campaign(
+        &self,
+        pairs: &[(Addr, Addr)],
+        lc: LoopConfig,
+    ) -> std::thread::Result<CampaignOutcome> {
+        let mut tasks: Vec<Option<MeasureTask>> = pairs
+            .iter()
+            .map(|&(dst, src)| Some(MeasureTask::new(dst, src)))
+            .collect();
+        let mut results: Vec<Option<RevtrResult>> = pairs.iter().map(|_| None).collect();
+        let mut heap: BinaryHeap<Reverse<EventKey>> = (0..pairs.len())
+            .map(|id| {
+                Reverse(EventKey {
+                    vtime: 0.0,
+                    id,
+                    seq: 0,
+                })
+            })
+            .collect();
+        let inflight_peak = pairs.len();
+        let mut events: u64 = 0;
+        let round = match lc.policy {
+            BatchPolicy::DeadlineFirst => 1,
+            BatchPolicy::FillFirst => lc.quantum.max(1),
+        };
+        let workers = lc.workers.max(1).min(pairs.len().max(1));
+        if workers > 1 {
+            // Never more dispatch workers than the host has cores:
+            // oversubscribed workers add only scheduler churn and lock
+            // convoys on the shared schedule (a single-core host
+            // measurably loses ~5% wall at 8 workers). The clamp can
+            // land on 1 and still take the pool path — run-to-completion
+            // claiming, not the serial loop's round interleaving — so a
+            // `workers > 1` config keeps its dispatch mode everywhere
+            // and only the thread count adapts to the host.
+            let pool = workers.min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            );
+            self.run_campaign_workers(&mut tasks, &mut results, &mut heap, pool, &mut events)?;
+            return Ok(CampaignOutcome {
+                results: results
+                    .into_iter()
+                    .map(|r| r.expect("every admitted task completed"))
+                    .collect(),
+                inflight_peak,
+                events,
+            });
+        }
+        let mut due: Vec<EventKey> = Vec::with_capacity(round);
+        while let Some(Reverse(ev)) = heap.pop() {
+            // Form the round: the earliest event plus up to `round - 1`
+            // more, in deadline order. Under FillFirst a block stepped
+            // early in the round is not reconsidered until the next
+            // round even if its new ready-time precedes the round's
+            // remaining events — that is the policy difference, and the
+            // metamorphic suite proves results don't depend on it.
+            due.clear();
+            due.push(ev);
+            while due.len() < round {
+                match heap.pop() {
+                    Some(Reverse(e)) => due.push(e),
+                    None => break,
+                }
+            }
+            for ev in due.drain(..) {
+                events += 1;
+                let task = tasks[ev.id].as_mut().expect("pending task exists");
+                match self.step_task(task)? {
+                    Some(r) => {
+                        results[ev.id] = Some(r);
+                        tasks[ev.id] = None;
+                    }
+                    None => {
+                        heap.push(Reverse(EventKey {
+                            vtime: task.shadow_ms,
+                            id: ev.id,
+                            seq: ev.seq + 1,
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(CampaignOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every admitted task completed"))
+                .collect(),
+            inflight_peak,
+            events,
+        })
+    }
+
+    /// The parallel dispatch path: `workers` scoped threads claim
+    /// control blocks off the shared schedule in `(vtime, id, seq)`
+    /// order and run each claimed block's steps back-to-back to
+    /// completion. Spoofed-batch waits are *virtual* — they cost no wall
+    /// time — so interleaving a block's steps with its neighbours' buys
+    /// nothing on wall-clock and was measured to cost ~15% in lost cache
+    /// locality; running the steps consecutively keeps the block hot
+    /// while per-task shadow clocks still start every measurement at
+    /// virtual zero (which is what keeps cache entries from expiring
+    /// under late thread-clock times, the old pool's hidden recompute
+    /// tax). The realized cross-block interleaving is OS-dependent;
+    /// campaign *results* are not — the metamorphic suite pins parallel
+    /// output bit-identical to the serial loop's, the same invariance
+    /// the old engine's w1==w8 gate proved.
+    fn run_campaign_workers(
+        &self,
+        tasks: &mut [Option<MeasureTask>],
+        results: &mut [Option<RevtrResult>],
+        heap: &mut BinaryHeap<Reverse<EventKey>>,
+        workers: usize,
+        events: &mut u64,
+    ) -> std::thread::Result<()> {
+        struct Shared<'t> {
+            heap: BinaryHeap<Reverse<EventKey>>,
+            tasks: &'t mut [Option<MeasureTask>],
+            results: &'t mut [Option<RevtrResult>],
+            events: u64,
+            /// First panic payload; set once, drains the pool.
+            failed: Option<Box<dyn std::any::Any + Send + 'static>>,
+        }
+        let shared = Mutex::new(Shared {
+            heap: std::mem::take(heap),
+            tasks,
+            results,
+            events: *events,
+            failed: None,
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let mut guard = shared.lock().expect("schedule lock");
+                    if guard.failed.is_some() {
+                        return;
+                    }
+                    let Some(Reverse(ev)) = guard.heap.pop() else {
+                        // Blocks already claimed by other workers never
+                        // return to the queue, so an empty heap means
+                        // this worker is done.
+                        return;
+                    };
+                    let mut task = guard.tasks[ev.id].take().expect("pending task exists");
+                    drop(guard);
+                    let (steps, out) = self.burst_task(&mut task);
+                    guard = shared.lock().expect("schedule lock");
+                    guard.events += steps;
+                    match out {
+                        Err(payload) => {
+                            guard.failed.get_or_insert(payload);
+                            return;
+                        }
+                        Ok(r) => guard.results[ev.id] = Some(r),
+                    }
+                });
+            }
+        });
+        let shared = shared.into_inner().expect("schedule lock");
+        *events = shared.events;
+        match shared.failed {
+            Some(payload) => Err(payload),
+            None => Ok(()),
+        }
+    }
+
+    /// One scheduled step of a control block, with the task's private
+    /// shadow accumulators swapped in around it. The swap-back is
+    /// unconditional — on a panic the loop thread's own shadows are
+    /// restored before the payload propagates.
+    fn step_task(&self, task: &mut MeasureTask) -> std::thread::Result<Option<RevtrResult>> {
+        let clock = self.prober().clock();
+        let counters = self.prober().counters();
+        let saved_ms = clock.swap_thread_ms(task.shadow_ms);
+        let saved_snap = counters.swap_thread_snapshot(task.shadow_snap);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.step(self)));
+        task.shadow_ms = clock.swap_thread_ms(saved_ms);
+        task.shadow_snap = counters.swap_thread_snapshot(saved_snap);
+        out
+    }
+
+    /// Run one claimed control block's steps back-to-back to completion —
+    /// the parallel path's unit of work — with the shadow accumulators
+    /// swapped in *once* around the whole burst. No other block touches
+    /// this thread's shadows mid-burst, so the per-step swap pairs the
+    /// interleaving serial loop needs would cancel exactly; hoisting them
+    /// (and the panic fence) preserves attribution addend-for-addend
+    /// while shaving four thread-local map operations off every step.
+    /// Returns the step count alongside the outcome; the swap-back is
+    /// unconditional, as in [`RevtrSystem::step_task`].
+    fn burst_task(&self, task: &mut MeasureTask) -> (u64, std::thread::Result<RevtrResult>) {
+        let clock = self.prober().clock();
+        let counters = self.prober().counters();
+        let saved_ms = clock.swap_thread_ms(task.shadow_ms);
+        let saved_snap = counters.swap_thread_snapshot(task.shadow_snap);
+        let mut steps = 0u64;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            steps += 1;
+            if let Some(r) = task.step(self) {
+                return r;
+            }
+        }));
+        task.shadow_ms = clock.swap_thread_ms(saved_ms);
+        task.shadow_snap = counters.swap_thread_snapshot(saved_snap);
+        (steps, out)
+    }
+}

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod result;
 pub mod system;
 
 pub use config::{EngineConfig, SymmetryPolicy, VpSelection};
+pub use engine::{task_footprint_bytes, BatchPolicy, CampaignOutcome, LoopConfig};
 pub use result::{
     Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
     StitchTrace,

@@ -14,11 +14,9 @@
 //!    symmetric — unconditionally for 1.0; only if intradomain for 2.0,
 //!    aborting rather than guessing across AS boundaries (§4.4).
 
-use crate::config::{EngineConfig, SymmetryPolicy, VpSelection};
-use crate::result::{
-    Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
-    StitchTrace,
-};
+use crate::config::{EngineConfig, VpSelection};
+use crate::engine::MeasureTask;
+use crate::result::{RevtrResult, RevtrStats};
 use parking_lot::{Mutex, RwLock};
 use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
 use revtr_atlas::{Intersection, SourceAtlas};
@@ -53,11 +51,11 @@ pub fn extract_reverse_hops(slots: &[Addr], dst: Addr) -> Option<Vec<Addr>> {
 type AdjacencyDb = HashMap<Addr, Vec<Addr>>;
 
 /// The symmetry step's decision inputs (recorded as stitch evidence).
-struct SymmetryDecision {
-    penult: Addr,
-    penult_as: Option<AsId>,
-    cur_as: Option<AsId>,
-    interdomain: bool,
+pub(crate) struct SymmetryDecision {
+    pub(crate) penult: Addr,
+    pub(crate) penult_as: Option<AsId>,
+    pub(crate) cur_as: Option<AsId>,
+    pub(crate) interdomain: bool,
 }
 
 /// How many consecutive re-batches a VP queue may hold its position when
@@ -68,10 +66,72 @@ const TRANSIENT_STALL_BUDGET: u32 = 2;
 
 /// An open telemetry stage: the span token plus the thread-local probe
 /// snapshot at entry, so the exit can attach this stage's exact probe
-/// delta (per-thread, hence worker-count-invariant).
-struct StageStart {
+/// delta (per-thread, hence worker-count-invariant). Stage spans are held
+/// across event-loop yields inside a measurement's control block; the
+/// loop's shadow swap keeps the entry snapshot consistent with whatever
+/// the task accumulates later.
+pub(crate) struct StageStart {
     tok: Option<SpanToken>,
     snap: Snapshot,
+}
+
+impl StageStart {
+    /// An inert placeholder (exit on it is a no-op); used when moving a
+    /// live span out of a partially-consumed [`RrMachine`].
+    pub(crate) fn empty() -> StageStart {
+        StageStart {
+            tok: None,
+            snap: Snapshot::default(),
+        }
+    }
+}
+
+/// A concluded record-route step: the newly discovered reverse hops, the
+/// provenance of the revealing probe (all hops of one return come from one
+/// reply), and whether that probe was spoofed.
+pub(crate) type RrFound = (Vec<Addr>, RrProvenance, bool);
+
+/// Outcome of [`RevtrSystem::rr_begin`]: either the step concluded without
+/// needing a spoofed batch, or a machine carrying the spoofed-round state.
+// A transient return value, destructured by the caller on the next line —
+// never stored — so the Done/Pending size gap costs nothing; boxing the
+// machine would add a heap round-trip per RR step instead.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum RrProgress {
+    /// The step finished (direct RR hit, or no usable VP queues).
+    Done(Option<RrFound>),
+    /// Spoofed rounds pending; drive with [`RevtrSystem::rr_round`].
+    Pending(RrMachine),
+}
+
+/// Mid-flight state of a record-route step's spoofed-batch rounds: the VP
+/// queues with their cursors and transient-stall counters, plus the open
+/// `rr_step`/`rr_spoofed` telemetry spans. One [`RevtrSystem::rr_round`]
+/// call issues one batch — one virtual 10 s collection timeout — so the
+/// event loop can park the control block between rounds instead of
+/// blocking a thread.
+pub(crate) struct RrMachine {
+    cur: Addr,
+    st: StageStart,
+    spoof_span: StageStart,
+    batches0: u32,
+    queues: Vec<IngressQueue>,
+    cursors: Vec<usize>,
+    stalls: Vec<u32>,
+    active: Vec<usize>,
+}
+
+/// The hops of `hops` not already on the path, first occurrence order,
+/// deduplicated (the RR steps' novelty filter).
+fn novel(path_set: &HashSet<Addr>, hops: &[Addr]) -> Vec<Addr> {
+    let mut out = Vec::new();
+    let mut seen = path_set.clone();
+    for &h in hops {
+        if seen.insert(h) {
+            out.push(h);
+        }
+    }
+    out
 }
 
 /// The orchestrating system (Appx. A): sources, atlases, vantage points,
@@ -294,7 +354,7 @@ impl<'s> RevtrSystem<'s> {
     /// Does `addr` intersect the atlas? With the RR-atlas the index already
     /// holds every RR-visible alias; in revtr 1.0 mode we additionally
     /// consult the external alias datasets (MIDAR-lite / SNMP).
-    fn lookup_intersection(
+    pub(crate) fn lookup_intersection(
         &self,
         src: Addr,
         atlas: &SourceAtlas,
@@ -349,7 +409,7 @@ impl<'s> RevtrSystem<'s> {
     // ---- helpers ------------------------------------------------------------------
 
     /// True if `addr` means we have arrived at the source.
-    fn reached(&self, addr: Addr, src: Addr, src_prefix: Option<PrefixId>) -> bool {
+    pub(crate) fn reached(&self, addr: Addr, src: Addr, src_prefix: Option<PrefixId>) -> bool {
         addr == src
             || (src_prefix.is_some() && self.sim.host_prefix(addr) == src_prefix)
             || (src_prefix.is_some() && self.sim.topo().prefix_of(addr) == src_prefix)
@@ -411,10 +471,22 @@ impl<'s> RevtrSystem<'s> {
         }
     }
 
+    /// Bump the intersected-trace usage counter feeding the atlas refresh
+    /// policy.
+    pub(crate) fn note_intersection_usage(&self, src: Addr, trace: usize) {
+        *self.usage.lock().entry((src, trace)).or_insert(0) += 1;
+    }
+
+    /// Whether two addresses name the same router (or /30 link ends), per
+    /// the alias resolver — the DBR-verification comparison.
+    pub(crate) fn hop_match(&self, a: Addr, b: Addr) -> bool {
+        self.resolver.hop_match(a, b)
+    }
+
     /// Open a telemetry stage span (no-op on an inactive scope — the
     /// timestamp and probe snapshot are not even computed then, keeping
     /// the disabled path free).
-    fn stage_enter(&self, req: &mut RequestScope, stage: &'static str) -> StageStart {
+    pub(crate) fn stage_enter(&self, req: &mut RequestScope, stage: &'static str) -> StageStart {
         if !req.active() {
             return StageStart {
                 tok: None,
@@ -431,7 +503,12 @@ impl<'s> RevtrSystem<'s> {
     /// Close a telemetry stage span, attaching this thread's probe delta
     /// (option probes, packets, retries, fault losses) plus any
     /// stage-specific fields.
-    fn stage_exit(&self, req: &mut RequestScope, st: StageStart, extra: &[(&'static str, u64)]) {
+    pub(crate) fn stage_exit(
+        &self,
+        req: &mut RequestScope,
+        st: StageStart,
+        extra: &[(&'static str, u64)],
+    ) {
         if st.tok.is_none() {
             return;
         }
@@ -446,21 +523,78 @@ impl<'s> RevtrSystem<'s> {
         req.exit(st.tok, self.prober.clock().thread_ms(), &fields);
     }
 
-    /// The record-route step: direct RR from the source, then spoofed
-    /// batches. On success returns the newly discovered reverse hops, the
-    /// provenance of the revealing probe (all hops of one return come from
-    /// one reply), and whether that probe was spoofed. Wraps
-    /// [`RevtrSystem::rr_step_inner`] in an `rr_step` telemetry span.
-    fn rr_step(
+    /// Begin a record-route step against `cur`: open the `rr_step` span,
+    /// try the direct (non-spoofed) RR ping from the source, and — if that
+    /// reveals nothing — set up the spoofed-batch machine.
+    ///
+    /// Returns [`RrProgress::Done`] when the step finished without any
+    /// spoofed batch (direct hit, or no usable VP queues);
+    /// [`RrProgress::Pending`] hands back an [`RrMachine`] whose rounds
+    /// the caller drives via [`RevtrSystem::rr_round`] — each round is one
+    /// spoofed batch, i.e. one virtual 10 s collection timeout, which is
+    /// exactly the event-loop yield point.
+    pub(crate) fn rr_begin(
         &self,
         cur: Addr,
         src: Addr,
         path_set: &HashSet<Addr>,
         stats: &mut RevtrStats,
         req: &mut RequestScope,
-    ) -> Option<(Vec<Addr>, RrProvenance, bool)> {
+    ) -> RrProgress {
         let st = self.stage_enter(req, "rr_step");
-        let out = self.rr_step_inner(cur, src, path_set, stats, req);
+
+        // Direct (non-spoofed) RR ping from the source.
+        let direct = self.stage_enter(req, "rr_direct");
+        if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
+            if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
+                let new = novel(path_set, &rev);
+                if !new.is_empty() {
+                    self.stage_exit(req, direct, &[("hit", 1)]);
+                    return RrProgress::Done(self.rr_close(req, st, Some((new, prov, false))));
+                }
+            }
+        }
+        self.stage_exit(req, direct, &[("hit", 0)]);
+
+        // Spoofed batches from the VP plan. Queues can legitimately be
+        // empty (an ingress with no in-range VPs): they must be excluded
+        // up front or the batch composer would index past the end.
+        let spoof_span = self.stage_enter(req, "rr_spoofed");
+        let batches0 = stats.batches;
+        let queues = self.vp_queues(cur);
+        let cursors: Vec<usize> = vec![0; queues.len()];
+        let stalls: Vec<u32> = vec![0; queues.len()];
+        let active: Vec<usize> = (0..queues.len())
+            .filter(|&qi| !queues[qi].vps.is_empty())
+            .collect();
+        if active.is_empty() {
+            self.stage_exit(
+                req,
+                spoof_span,
+                &[("hit", 0), ("batches", u64::from(stats.batches - batches0))],
+            );
+            return RrProgress::Done(self.rr_close(req, st, None));
+        }
+        RrProgress::Pending(RrMachine {
+            cur,
+            st,
+            spoof_span,
+            batches0,
+            queues,
+            cursors,
+            stalls,
+            active,
+        })
+    }
+
+    /// Close the `rr_step` span with the step's summary fields and pass
+    /// the outcome through.
+    fn rr_close(
+        &self,
+        req: &mut RequestScope,
+        st: StageStart,
+        out: Option<RrFound>,
+    ) -> Option<RrFound> {
         let (revealed, spoofed) = match &out {
             Some((v, _, sp)) => (v.len() as u64, u64::from(*sp)),
             None => (0, 0),
@@ -469,119 +603,100 @@ impl<'s> RevtrSystem<'s> {
         out
     }
 
-    fn rr_step_inner(
+    /// One spoofed-batch round of a pending record-route step: compose a
+    /// batch from the machine's active queues, issue it, and either
+    /// conclude the step (`Some(outcome)`) or leave the machine ready for
+    /// the next round (`None`). Semantics are identical to one iteration
+    /// of the old blocking loop.
+    pub(crate) fn rr_round(
         &self,
-        cur: Addr,
+        m: &mut RrMachine,
         src: Addr,
         path_set: &HashSet<Addr>,
         stats: &mut RevtrStats,
         req: &mut RequestScope,
-    ) -> Option<(Vec<Addr>, RrProvenance, bool)> {
-        let novel = |hops: &[Addr]| -> Vec<Addr> {
-            let mut out = Vec::new();
-            let mut seen = path_set.clone();
-            for &h in hops {
-                if seen.insert(h) {
-                    out.push(h);
-                }
-            }
-            out
-        };
+    ) -> Option<Option<RrFound>> {
+        // Compose a batch: the current VP of up to `batch_size` distinct
+        // queues, in order.
+        let mut batch: Vec<(usize, Addr)> = Vec::new();
+        for &qi in m.active.iter().take(self.cfg.batch_size) {
+            batch.push((qi, m.queues[qi].vps[m.cursors[qi]]));
+        }
+        let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, m.cur)).collect();
+        let replies = self.prober.spoofed_rr_batch(&pairs, src);
+        // Count the collection timeouts actually charged: a fully cached
+        // batch costs no virtual time and no batch.
+        stats.batches += replies.timeouts;
 
-        // Direct (non-spoofed) RR ping from the source.
-        let direct = self.stage_enter(req, "rr_direct");
-        if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
-            if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
-                let new = novel(&rev);
-                if !new.is_empty() {
-                    self.stage_exit(req, direct, &[("hit", 1)]);
-                    return Some((new, prov, false));
+        let mut best: Vec<Addr> = Vec::new();
+        let mut best_prov: Option<RrProvenance> = None;
+        for (slot, (qi, _vp)) in batch.iter().enumerate() {
+            let q = &m.queues[*qi];
+            let usable = replies.replies[slot].as_ref().and_then(|r| {
+                // The probe must have traversed the expected ingress.
+                if let Some(ing) = q.expected_ingress {
+                    if !r.slots.contains(&ing) {
+                        return None;
+                    }
+                }
+                Self::extract_reverse(&r.slots, m.cur)
+            });
+            if let Some(rev) = usable {
+                let new = novel(path_set, &rev);
+                if new.len() > best.len() {
+                    best = new;
+                    best_prov = replies.provenance[slot];
                 }
             }
         }
-        self.stage_exit(req, direct, &[("hit", 0)]);
-
-        // Spoofed batches from the VP plan. Queues can legitimately be
-        // empty (an ingress with no in-range VPs): they must be excluded
-        // up front or the batch composer below would index past the end.
-        let spoof_span = self.stage_enter(req, "rr_spoofed");
-        let batches0 = stats.batches;
-        let queues = self.vp_queues(cur);
-        let mut cursors: Vec<usize> = vec![0; queues.len()];
-        let mut stalls: Vec<u32> = vec![0; queues.len()];
-        let mut active: Vec<usize> = (0..queues.len())
-            .filter(|&qi| !queues[qi].vps.is_empty())
-            .collect();
-        while !active.is_empty() {
-            // Compose a batch: the current VP of up to `batch_size`
-            // distinct queues, in order.
-            let mut batch: Vec<(usize, Addr)> = Vec::new();
-            for &qi in active.iter().take(self.cfg.batch_size) {
-                batch.push((qi, queues[qi].vps[cursors[qi]]));
-            }
-            let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, cur)).collect();
-            let replies = self.prober.spoofed_rr_batch(&pairs, src);
-            // Count the collection timeouts actually charged: a fully
-            // cached batch costs no virtual time and no batch.
-            stats.batches += replies.timeouts;
-
-            let mut best: Vec<Addr> = Vec::new();
-            let mut best_prov: Option<RrProvenance> = None;
-            for (slot, (qi, _vp)) in batch.iter().enumerate() {
-                let q = &queues[*qi];
-                let usable = replies.replies[slot].as_ref().and_then(|r| {
-                    // The probe must have traversed the expected ingress.
-                    if let Some(ing) = q.expected_ingress {
-                        if !r.slots.contains(&ing) {
-                            return None;
-                        }
-                    }
-                    Self::extract_reverse(&r.slots, cur)
-                });
-                if let Some(rev) = usable {
-                    let new = novel(&rev);
-                    if new.len() > best.len() {
-                        best = new;
-                        best_prov = replies.provenance[slot];
-                    }
-                }
-            }
-            if let Some(prov) = best_prov.filter(|_| !best.is_empty()) {
-                self.stage_exit(
-                    req,
-                    spoof_span,
-                    &[("hit", 1), ("batches", u64::from(stats.batches - batches0))],
-                );
-                return Some((best, prov, true));
-            }
-            // Nothing came back. A queue whose probe was *transiently*
-            // lost (fault-attributed, budget exhausted) keeps its current
-            // VP for a bounded number of re-batches — a close VP should
-            // not be burned because of packet loss. Every other probed
-            // queue advances to its next (less close) VP — whether it
-            // failed the ingress check, went genuinely unanswered, or
-            // answered without revealing new hops.
-            for (slot, &(qi, _)) in batch.iter().enumerate() {
-                if replies.transient[slot] && stalls[qi] < TRANSIENT_STALL_BUDGET {
-                    stalls[qi] += 1;
-                } else {
-                    cursors[qi] += 1;
-                    stalls[qi] = 0;
-                }
-            }
-            active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
+        if let Some(prov) = best_prov.filter(|_| !best.is_empty()) {
+            let spoof_span = std::mem::replace(&mut m.spoof_span, StageStart::empty());
+            self.stage_exit(
+                req,
+                spoof_span,
+                &[
+                    ("hit", 1),
+                    ("batches", u64::from(stats.batches - m.batches0)),
+                ],
+            );
+            let st = std::mem::replace(&mut m.st, StageStart::empty());
+            return Some(self.rr_close(req, st, Some((best, prov, true))));
         }
-        self.stage_exit(
-            req,
-            spoof_span,
-            &[("hit", 0), ("batches", u64::from(stats.batches - batches0))],
-        );
+        // Nothing came back. A queue whose probe was *transiently* lost
+        // (fault-attributed, budget exhausted) keeps its current VP for a
+        // bounded number of re-batches — a close VP should not be burned
+        // because of packet loss. Every other probed queue advances to its
+        // next (less close) VP — whether it failed the ingress check, went
+        // genuinely unanswered, or answered without revealing new hops.
+        for (slot, &(qi, _)) in batch.iter().enumerate() {
+            if replies.transient[slot] && m.stalls[qi] < TRANSIENT_STALL_BUDGET {
+                m.stalls[qi] += 1;
+            } else {
+                m.cursors[qi] += 1;
+                m.stalls[qi] = 0;
+            }
+        }
+        let (cursors, queues) = (&m.cursors, &m.queues);
+        m.active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
+        if m.active.is_empty() {
+            let spoof_span = std::mem::replace(&mut m.spoof_span, StageStart::empty());
+            self.stage_exit(
+                req,
+                spoof_span,
+                &[
+                    ("hit", 0),
+                    ("batches", u64::from(stats.batches - m.batches0)),
+                ],
+            );
+            let st = std::mem::replace(&mut m.st, StageStart::empty());
+            return Some(self.rr_close(req, st, None));
+        }
         None
     }
 
     /// The timestamp step (revtr 1.0 only): test traceroute-derived
     /// adjacencies of `cur` with TS-prespec probes.
-    fn ts_step(&self, cur: Addr, src: Addr, path_set: &HashSet<Addr>) -> Option<Addr> {
+    pub(crate) fn ts_step(&self, cur: Addr, src: Addr, path_set: &HashSet<Addr>) -> Option<Addr> {
         let adj_db = self.adjacencies();
         let extra = self.extra_adjacency.read();
         let mut cands: Vec<Addr> = Vec::new();
@@ -657,7 +772,7 @@ impl<'s> RevtrSystem<'s> {
     /// The symmetry step (Q5): traceroute to `cur`, take the penultimate
     /// hop, and decide by link locality. The full decision inputs are
     /// returned so they can be recorded as stitch-trace evidence.
-    fn symmetry_step(&self, cur: Addr, src: Addr) -> Option<SymmetryDecision> {
+    pub(crate) fn symmetry_step(&self, cur: Addr, src: Addr) -> Option<SymmetryDecision> {
         let tr = self.prober.traceroute(src, cur)?;
         // The last responsive hop that is not the destination itself.
         let penult = tr
@@ -684,254 +799,26 @@ impl<'s> RevtrSystem<'s> {
     // ---- the measurement loop ---------------------------------------------------
 
     /// Measure the reverse path from `dst` back to `src` (Fig. 2).
+    ///
+    /// This is the synchronous driver over the event-driven control block
+    /// ([`MeasureTask`]): it steps the same state machine the campaign
+    /// event loop schedules, to completion, on the calling thread. The
+    /// prober-call sequence is identical to the historical straight-line
+    /// loop, so results, probe counters, and telemetry spans are
+    /// unchanged.
     pub fn measure(&self, dst: Addr, src: Addr) -> RevtrResult {
-        let atlas = self.atlas(src);
-        let t0 = self.prober.clock().now_s();
-        // Thread-local snapshot: a measurement runs synchronously on one
-        // thread, so this attributes exactly its own probes even while
-        // other campaign workers probe concurrently.
-        let snap0 = self.prober.counters().thread_snapshot();
-        let mut stats = RevtrStats::default();
-        let mut trace = StitchTrace::default();
-        let src_prefix = self.sim.host_prefix(src);
-        // Telemetry request scope (inert unless the prober carries an
-        // enabled handle). The origin is this thread's virtual time, so
-        // span offsets are invariant to concurrent workers' advances.
-        let mut req =
-            self.prober
-                .telemetry()
-                .request(dst.0, src.0, self.prober.clock().thread_ms());
-
-        let finish = |status: Status,
-                      hops: Vec<RevtrHop>,
-                      mut stats: RevtrStats,
-                      trace: StitchTrace,
-                      req: &mut RequestScope| {
-            stats.duration_s = self.prober.clock().now_s() - t0;
-            stats.probes =
-                ProbeDelta::from_snapshot(&self.prober.counters().thread_snapshot().since(&snap0));
-            req.finish(status.label(), self.prober.clock().thread_ms());
-            let mut r = RevtrResult {
-                dst,
-                src,
-                status,
-                hops,
-                stats,
-                trace,
-            };
-            self.flag_suspicious(&mut r);
-            r
-        };
-
-        // The destination must answer something.
-        let st = self.stage_enter(&mut req, "destination_probe");
-        let answered = self.prober.ping(src, dst).is_some();
-        self.stage_exit(&mut req, st, &[("answered", u64::from(answered))]);
-        if !answered {
-            trace.end = Some(StitchEnd::Unresponsive);
-            return finish(Status::Unresponsive, Vec::new(), stats, trace, &mut req);
+        let mut task = MeasureTask::new(dst, src);
+        loop {
+            if let Some(r) = task.step(self) {
+                return r;
+            }
         }
-
-        let mut hops = vec![RevtrHop {
-            addr: Some(dst),
-            method: HopMethod::Destination,
-            suspicious_gap_before: false,
-        }];
-        trace.entries.push(Evidence::Destination);
-        let mut path_set: HashSet<Addr> = [dst].into();
-        let mut cur = dst;
-
-        for _ in 0..self.cfg.max_path_hops {
-            if self.reached(cur, src, src_prefix) {
-                trace.end = Some(StitchEnd::ReachedSource);
-                return finish(Status::Complete, hops, stats, trace, &mut req);
-            }
-
-            // 1. Atlas intersection.
-            let atlas_span = self.stage_enter(&mut req, "atlas_intersection");
-            if let Some(inter) = self.lookup_intersection(src, &atlas, cur) {
-                *self.usage.lock().entry((src, inter.trace)).or_insert(0) += 1;
-                stats.intersected_trace = Some(inter.trace);
-                stats.intersected_hop = Some(inter.hop);
-                stats.intersected_trace_age_h =
-                    Some(atlas.trace_age_hours(inter, self.sim.now_hours()));
-                let t = &atlas.traces[inter.trace];
-                let suffix = atlas.suffix(inter);
-                for (i, h) in suffix.iter().enumerate() {
-                    if i == 0 && *h == Some(cur) {
-                        continue; // already in the path
-                    }
-                    stats.atlas_hops += 1;
-                    trace.entries.push(if i == 0 {
-                        // An alias join: this hop's address differs from
-                        // `cur` but names the same router (or /30 link).
-                        Evidence::AtlasIntersection {
-                            source: src,
-                            vp: t.vp,
-                            at_hours: t.at_hours,
-                            joined: cur,
-                        }
-                    } else {
-                        Evidence::TrToSource {
-                            source: src,
-                            vp: t.vp,
-                            at_hours: t.at_hours,
-                        }
-                    });
-                    hops.push(RevtrHop {
-                        addr: *h,
-                        method: HopMethod::AtlasIntersection,
-                        suspicious_gap_before: false,
-                    });
-                }
-                self.stage_exit(
-                    &mut req,
-                    atlas_span,
-                    &[("hit", 1), ("atlas_hops", u64::from(stats.atlas_hops))],
-                );
-                trace.end = Some(StitchEnd::AtlasSuffix);
-                return finish(Status::Complete, hops, stats, trace, &mut req);
-            }
-            self.stage_exit(&mut req, atlas_span, &[("hit", 0)]);
-
-            // 2. Record route.
-            let rr_found = self.rr_step(cur, src, &path_set, &mut stats, &mut req);
-            if self.cfg.verify_dbr {
-                if let Some((rev, _, _)) = rr_found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
-                    // Appx. E optional mode: re-probe the first revealed hop
-                    // and confirm the chain continues the same way. The
-                    // comparison is against the *immediate* next hop: a
-                    // source-dependent router sends the two probes' replies
-                    // down different links right away, and a weaker
-                    // "appears anywhere later" check misses detours that
-                    // reconverge within a hop or two.
-                    if let Some(first) = rev.first().copied().filter(|a| !a.is_private()) {
-                        let expected = rev[1];
-                        let vspan = self.stage_enter(&mut req, "rr_verify");
-                        let verify = self
-                            .rr_step(first, src, &path_set, &mut stats, &mut req)
-                            .map(|(v, _, _)| v)
-                            .unwrap_or_default();
-                        if let Some(&h0) = verify.first() {
-                            if h0 != expected && !self.resolver.hop_match(h0, expected) {
-                                stats.dbr_violation_detected = true;
-                            }
-                        }
-                        self.stage_exit(
-                            &mut req,
-                            vspan,
-                            &[("violation", u64::from(stats.dbr_violation_detected))],
-                        );
-                    }
-                }
-            }
-            if let Some((rev, prov, spoofed)) = rr_found {
-                let method = if spoofed {
-                    HopMethod::SpoofedRecordRoute
-                } else {
-                    HopMethod::RecordRoute
-                };
-                for &h in &rev {
-                    path_set.insert(h);
-                    trace.entries.push(if spoofed {
-                        Evidence::SpoofedRecordRoute { prov }
-                    } else {
-                        Evidence::RecordRoute { prov }
-                    });
-                    hops.push(RevtrHop {
-                        addr: Some(h),
-                        method,
-                        suspicious_gap_before: false,
-                    });
-                }
-                // Continue from the last routable hop.
-                if let Some(&next) = rev.iter().rev().find(|a| !a.is_private()) {
-                    cur = next;
-                    continue;
-                }
-            }
-
-            // 3. Timestamp (revtr 1.0).
-            if self.cfg.use_timestamp {
-                let ts_span = self.stage_enter(&mut req, "ts_step");
-                let adj = self.ts_step(cur, src, &path_set);
-                self.stage_exit(&mut req, ts_span, &[("found", u64::from(adj.is_some()))]);
-                if let Some(adj) = adj {
-                    path_set.insert(adj);
-                    trace.entries.push(Evidence::Timestamp { tested_from: cur });
-                    hops.push(RevtrHop {
-                        addr: Some(adj),
-                        method: HopMethod::Timestamp,
-                        suspicious_gap_before: false,
-                    });
-                    cur = adj;
-                    continue;
-                }
-            }
-
-            // 4. Assume symmetry / abort.
-            let sym_span = self.stage_enter(&mut req, "assume_symmetry");
-            let sym = self.symmetry_step(cur, src);
-            let adopted = sym.as_ref().is_some_and(|d| {
-                !(path_set.contains(&d.penult)
-                    || d.interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly)
-            });
-            self.stage_exit(
-                &mut req,
-                sym_span,
-                &[
-                    ("adopted", u64::from(adopted)),
-                    (
-                        "interdomain",
-                        sym.as_ref().map_or(0, |d| u64::from(d.interdomain)),
-                    ),
-                ],
-            );
-            let Some(d) = sym else {
-                trace.end = Some(StitchEnd::Stuck);
-                return finish(Status::Stuck, hops, stats, trace, &mut req);
-            };
-            if path_set.contains(&d.penult) {
-                trace.end = Some(StitchEnd::Stuck);
-                return finish(Status::Stuck, hops, stats, trace, &mut req);
-            }
-            if d.interdomain && self.cfg.symmetry == SymmetryPolicy::IntradomainOnly {
-                trace.end = Some(StitchEnd::AbortInterdomain {
-                    cur,
-                    penult: d.penult,
-                    cur_as: d.cur_as,
-                    penult_as: d.penult_as,
-                });
-                return finish(Status::AbortedInterdomain, hops, stats, trace, &mut req);
-            }
-            stats.assumed_symmetric += 1;
-            if d.interdomain {
-                stats.assumed_interdomain += 1;
-            }
-            path_set.insert(d.penult);
-            trace.entries.push(Evidence::AssumedSymmetric {
-                cur,
-                penult: d.penult,
-                cur_as: d.cur_as,
-                penult_as: d.penult_as,
-                interdomain: d.interdomain,
-                policy: self.cfg.symmetry,
-            });
-            hops.push(RevtrHop {
-                addr: Some(d.penult),
-                method: HopMethod::AssumedSymmetric,
-                suspicious_gap_before: false,
-            });
-            cur = d.penult;
-        }
-        trace.end = Some(StitchEnd::HopBudget);
-        finish(Status::Stuck, hops, stats, trace, &mut req)
     }
 
     /// Flag suspicious AS gaps (§5.2.2): a small AS apparently adjacent to
     /// a provider-of-its-provider with no known relationship suggests a
     /// router that forwards RR packets without stamping.
-    fn flag_suspicious(&self, r: &mut RevtrResult) {
+    pub(crate) fn flag_suspicious(&self, r: &mut RevtrResult) {
         let mut prev_as: Option<revtr_netsim::AsId> = None;
         for i in 0..r.hops.len() {
             let Some(addr) = r.hops[i].addr else { continue };

@@ -79,16 +79,24 @@ fn revtr2_measures_paths_and_paths_lead_to_source() {
         "revtr 2.0 completed only {complete}/{} paths",
         dests.len()
     );
-    // Cache effectiveness (Insight 1.4): a campaign of measurements to one
-    // source must reuse cached measurements, not re-probe from scratch.
+    // Cache effectiveness (Insight 1.4): re-measuring the same
+    // destinations must reuse cached probes, not re-issue them from
+    // scratch. The background ingress survey bypasses the measurement
+    // cache (its VP→scan-dest pings are never re-issued by the engine),
+    // so the reuse pinned here is measurement-to-measurement.
+    let before = sys.prober().cache().stats();
+    assert!(before.inserts > 0, "nothing was ever cached: {before:?}");
+    for &d in &dests {
+        let r = sys.measure(d, src);
+        assert_eq!(r.dst, d);
+    }
     let cs = sys.prober().cache().stats();
-    assert!(cs.inserts > 0, "nothing was ever cached: {cs:?}");
     assert!(
-        cs.hits > 0,
-        "measurement cache earned no hits across {} revtrs: {cs:?}",
+        cs.hits > before.hits,
+        "re-measuring {} destinations earned no cache hits: {before:?} -> {cs:?}",
         dests.len()
     );
-    assert_eq!(cs.expired, 0, "no virtual time passed, nothing may expire");
+    assert_eq!(cs.expired, 0, "within the horizon, nothing may expire");
 }
 
 #[test]

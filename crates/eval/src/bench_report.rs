@@ -52,6 +52,9 @@ pub struct BenchReport {
     pub cache_expired: u64,
     /// Simulator route computations.
     pub route_computes: u64,
+    /// Peak in-flight measurements on the event loop (informational;
+    /// absent in pre-PR6 baselines and parsed as 0 there).
+    pub inflight_peak: u64,
     /// Campaign metrics fingerprint (hex, noted on mismatch, never gated).
     pub metrics_fingerprint: String,
     /// Campaign journal fingerprint (hex).
@@ -132,6 +135,7 @@ pub fn run(scale_name: &str, seed: u64) -> BenchReport {
         cache_inserts: m.cache.inserts,
         cache_expired: m.cache.expired,
         route_computes: m.route_computes,
+        inflight_peak: m.inflight_peak as u64,
         metrics_fingerprint: format!("{:#018x}", m.metrics_fingerprint),
         journal_fingerprint: format!("{:#018x}", m.journal_fingerprint),
     }
@@ -169,6 +173,7 @@ impl BenchReport {
         let _ = writeln!(s, "    \"misses\": {}", self.cache_misses);
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"route_computes\": {},", self.route_computes);
+        let _ = writeln!(s, "  \"inflight_peak\": {},", self.inflight_peak);
         let _ = writeln!(s, "  \"fingerprints\": {{");
         let _ = writeln!(s, "    \"journal\": \"{}\",", self.journal_fingerprint);
         let _ = writeln!(s, "    \"metrics\": \"{}\"", self.metrics_fingerprint);
@@ -235,6 +240,8 @@ impl BenchReport {
             cache_inserts: int(&cache, "inserts")?,
             cache_expired: int(&cache, "expired")?,
             route_computes: int(&v, "route_computes")?,
+            // Lenient: pre-PR6 baselines don't carry this key.
+            inflight_peak: int(&v, "inflight_peak").unwrap_or(0),
             metrics_fingerprint: string(&fps, "metrics")?,
             journal_fingerprint: string(&fps, "journal")?,
         })
@@ -252,6 +259,21 @@ impl BenchReport {
     /// All packets across kinds.
     pub fn all_packets(&self) -> u64 {
         self.probes_by_kind.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Measurement-cache hit rate (hits / lookups; 0 when no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Option probes per attempted request.
+    pub fn probes_per_revtr(&self) -> f64 {
+        self.option_probes() as f64 / self.requests.max(1) as f64
     }
 }
 
@@ -363,6 +385,28 @@ pub fn compare(
         "wall clock {:.0} ms -> {:.0} ms (informational, never gated)",
         old.wall_ms, new.wall_ms
     ));
+    // Cache economy and engine accounting: surfaced, never gated. The
+    // hit-rate note is what makes cache-store bloat visible (PR 5's
+    // baseline carried 279 624 inserts for 2 144 hits before the survey
+    // probes stopped inserting).
+    c.notes.push(format!(
+        "cache hit rate {:.1}% -> {:.1}% ({} -> {} inserts; informational)",
+        old.cache_hit_rate() * 100.0,
+        new.cache_hit_rate() * 100.0,
+        old.cache_inserts,
+        new.cache_inserts
+    ));
+    c.notes.push(format!(
+        "probes/revtr {:.2} -> {:.2} (informational; gated via option probes)",
+        old.probes_per_revtr(),
+        new.probes_per_revtr()
+    ));
+    if old.inflight_peak != new.inflight_peak {
+        c.notes.push(format!(
+            "inflight peak {} -> {} (informational)",
+            old.inflight_peak, new.inflight_peak
+        ));
+    }
     c
 }
 
@@ -396,6 +440,7 @@ mod tests {
             cache_inserts: 60,
             cache_expired: 5,
             route_computes: 400,
+            inflight_peak: 20,
             metrics_fingerprint: "0x00deadbeef001122".into(),
             journal_fingerprint: "0x0011223344556677".into(),
         }

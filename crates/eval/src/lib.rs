@@ -15,6 +15,7 @@ pub mod atlas_study;
 pub mod audit;
 pub mod bench_report;
 pub mod cliargs;
+pub mod concurrency;
 pub mod context;
 pub mod dbr_violations;
 pub mod ip2as_ablation;

@@ -2,10 +2,11 @@
 //! breakdowns for a campaign run with tracing enabled.
 //!
 //! This is the evaluation-facing surface of the `revtr-telemetry` crate.
-//! It runs the same campaign workload as the other experiments — serially,
-//! so every counter and histogram is exactly reproducible — with an
-//! enabled [`Telemetry`] handle threaded through the prober, the
-//! measurement system, and the simulator, then renders:
+//! It runs the same campaign workload as the other experiments — on the
+//! deterministic virtual event loop, so every counter and histogram is
+//! exactly reproducible — with an enabled [`Telemetry`] handle threaded
+//! through the prober, the measurement system, and the simulator, then
+//! renders:
 //!
 //! - a **stage table**: span count, virtual-time p50/p99, and probe /
 //!   packet / retry / loss deltas per stitching stage;
@@ -21,7 +22,7 @@
 
 use crate::context::{EvalContext, EvalScale};
 use crate::render::Table;
-use revtr::EngineConfig;
+use revtr::{EngineConfig, LoopConfig};
 use revtr_netsim::SimConfig;
 use revtr_telemetry::{MetricsSnapshot, RequestRecord, Telemetry};
 use revtr_vpselect::Heuristics;
@@ -235,7 +236,10 @@ impl MetricsReport {
     }
 }
 
-/// Run the campaign serially with telemetry enabled and profile it.
+/// Run the campaign on the deterministic event loop (default
+/// [`LoopConfig`]) with telemetry enabled and profile it. The loop's
+/// schedule is a pure function of the inputs, so every counter and
+/// histogram is exactly reproducible.
 pub fn run(base: SimConfig, scale: EvalScale) -> MetricsReport {
     let ctx = EvalContext::new(base, scale);
     let telemetry = Telemetry::enabled();
@@ -244,9 +248,9 @@ pub fn run(base: SimConfig, scale: EvalScale) -> MetricsReport {
     let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
     let system = ctx.build_system(prober, EngineConfig::revtr2(), ingress);
     let workload = ctx.workload();
-    for &(dst, src) in &workload {
-        let _ = system.measure(dst, src);
-    }
+    let _ = system
+        .run_campaign(&workload, LoopConfig::default())
+        .expect("campaign measurement panicked");
     MetricsReport {
         snapshot: telemetry.metrics(),
         journal: telemetry.journal_records(),

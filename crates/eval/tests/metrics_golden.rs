@@ -65,7 +65,7 @@ fn standard_seed42_exports_match_goldens() {
             "metrics {:#018x} journal {:#018x}",
             report.metrics_fingerprint, report.journal_fingerprint
         ),
-        "metrics 0x9f8e56be4bf2aebd journal 0x8511699f2fbba10c",
+        "metrics 0xe72d9da6fd24178f journal 0xeb1efe2d61300455",
         "standard seed-42 campaign fingerprints drifted"
     );
 }

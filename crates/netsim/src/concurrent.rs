@@ -327,6 +327,9 @@ mod tests {
     }
 
     #[test]
+    // Wall-clock sleep is disallowed workspace-wide (clippy.toml) — this
+    // one deliberately widens a data race window in a concurrency test.
+    #[allow(clippy::disallowed_methods)]
     fn get_or_compute_single_flight_under_contention() {
         let m: StripedMap<u32, u64> = StripedMap::with_shards(4);
         let calls = AtomicUsize::new(0);

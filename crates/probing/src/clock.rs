@@ -118,6 +118,19 @@ impl Clock {
         TIME_SHADOW.with(|s| s.borrow().get(&self.id).copied().unwrap_or(0.0))
     }
 
+    /// Replace the calling thread's shadow accumulator with `ms` and
+    /// return the previous value.
+    ///
+    /// The event-driven engine multiplexes many logical measurements onto
+    /// one OS thread. Each control block owns a private shadow value; the
+    /// loop swaps it in before advancing a measurement and swaps it back
+    /// out after, so [`Clock::thread_ms`] diffs inside the measurement see
+    /// exactly the same per-task accumulation — addend for addend — as a
+    /// dedicated thread would.
+    pub fn swap_thread_ms(&self, ms: f64) -> f64 {
+        TIME_SHADOW.with(|s| std::mem::replace(s.borrow_mut().entry(self.id).or_insert(0.0), ms))
+    }
+
     /// Advance the clock; flushes churn time into `sim` once this thread's
     /// slot has accumulated enough.
     pub fn advance(&self, ms: f64, sim: &Sim) {
@@ -191,6 +204,24 @@ mod tests {
         // Instances don't share shadows.
         let other = Clock::new();
         assert_eq!(other.thread_ms(), 0.0);
+    }
+
+    #[test]
+    fn swap_thread_ms_multiplexes_shadows() {
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let clock = Clock::new();
+        // Two logical tasks time-sliced on this thread: each sees only its
+        // own accumulation across the context switches.
+        clock.advance(3.0, &sim); // task A
+        let a = clock.swap_thread_ms(0.0); // switch to task B
+        assert_eq!(a, 3.0);
+        clock.advance(7.0, &sim); // task B
+        let b = clock.swap_thread_ms(a); // switch back to task A
+        assert_eq!(b, 7.0);
+        clock.advance(1.0, &sim); // task A again
+        assert_eq!(clock.thread_ms(), 4.0);
+        // Global time saw every advance regardless of the swaps.
+        assert_eq!(clock.now_ms(), 11.0);
     }
 
     #[test]

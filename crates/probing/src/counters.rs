@@ -109,6 +109,21 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    fn to_array(self) -> [u64; N_KINDS] {
+        [
+            self.ping,
+            self.rr,
+            self.spoof_rr,
+            self.ts,
+            self.spoof_ts,
+            self.traceroute_pkts,
+            self.traceroutes,
+            self.atlas_rr,
+            self.retries,
+            self.lost,
+        ]
+    }
+
     fn from_array(v: &[u64; N_KINDS]) -> Snapshot {
         Snapshot {
             ping: v[0],
@@ -217,6 +232,25 @@ impl Counters {
         })
     }
 
+    /// Replace the calling thread's shadow with `snap` and return the
+    /// previous shadow.
+    ///
+    /// Counterpart of `Clock::swap_thread_ms` for the event-driven
+    /// engine: the loop swaps each control block's private snapshot in
+    /// before stepping it and back out after, so [`thread_snapshot`]
+    /// diffs inside the measurement attribute exactly that measurement's
+    /// probes even though many measurements share one OS thread.
+    ///
+    /// [`thread_snapshot`]: Counters::thread_snapshot
+    pub fn swap_thread_snapshot(&self, snap: Snapshot) -> Snapshot {
+        SHADOW.with(|s| {
+            Snapshot::from_array(&std::mem::replace(
+                s.borrow_mut().entry(self.id).or_default(),
+                snap.to_array(),
+            ))
+        })
+    }
+
     /// Increment a counter by one.
     pub(crate) fn bump(&self, kind: ProbeKind) {
         self.add(kind, 1);
@@ -292,6 +326,25 @@ mod tests {
         // This thread only its own.
         assert_eq!(c.thread_snapshot().rr, 3);
         assert_eq!(c.thread_snapshot().spoof_rr, 0);
+    }
+
+    #[test]
+    fn swap_thread_snapshot_multiplexes_shadows() {
+        let c = Counters::new();
+        c.add(ProbeKind::Rr, 2); // task A
+        let a = c.swap_thread_snapshot(Snapshot::default()); // to task B
+        assert_eq!(a.rr, 2);
+        assert_eq!(c.thread_snapshot(), Snapshot::default());
+        c.add(ProbeKind::SpoofRr, 5); // task B
+        let b = c.swap_thread_snapshot(a); // back to task A
+        assert_eq!(b.spoof_rr, 5);
+        assert_eq!(b.rr, 0);
+        c.bump(ProbeKind::Rr); // task A again
+        assert_eq!(c.thread_snapshot().rr, 3);
+        assert_eq!(c.thread_snapshot().spoof_rr, 0);
+        // Globals unaffected by shadow bookkeeping.
+        assert_eq!(c.snapshot().rr, 3);
+        assert_eq!(c.snapshot().spoof_rr, 5);
     }
 
     #[test]

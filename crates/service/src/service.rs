@@ -1,14 +1,14 @@
 //! The revtr 2.0 service (Appx. A): users request reverse traceroutes to
 //! registered sources through an API façade; the service enforces rate
 //! limits, bootstraps sources, archives results, and runs batch campaigns
-//! in parallel.
+//! on the deterministic virtual event loop.
 
 use crate::store::ResultStore;
 use crate::users::{ApiKey, RateLimits, UserDb, UserError};
-use revtr::{RevtrResult, RevtrSystem};
+use revtr::{LoopConfig, RevtrResult, RevtrSystem};
 use revtr_netsim::{Addr, TraceResult};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-request tuning options (Appx. A: "the user can specify options to
 /// tune the request, such as how stale traceroutes are allowed to be and
@@ -44,7 +44,7 @@ pub enum ServiceError {
     SourceBootstrapFailed,
     /// System overloaded (NDT-triggered measurements are best-effort).
     Overloaded,
-    /// A batch-campaign worker panicked; the campaign's results were
+    /// A batch-campaign measurement panicked; the campaign's results were
     /// discarded but the service itself remains usable.
     WorkerPanicked,
 }
@@ -212,9 +212,12 @@ impl<'s> RevtrService<'s> {
         Ok(ServedRequest { reverse, forward })
     }
 
-    /// A batch campaign: measure every `(dst, src)` pair, fanned out over
-    /// `workers` threads (topology-mapping use case, §3). Results are
-    /// archived and returned in input order.
+    /// A batch campaign: measure every `(dst, src)` pair on the
+    /// deterministic virtual event loop (topology-mapping use case, §3).
+    /// `workers` is the loop's dispatch-worker count — scoped threads
+    /// that step one round's control blocks concurrently; campaign
+    /// results are invariant to it. Results are archived and returned in
+    /// input order.
     pub fn batch(
         &self,
         key: ApiKey,
@@ -229,7 +232,7 @@ impl<'s> RevtrService<'s> {
         }
         // Charge the daily quota up front (campaigns are still subject to
         // per-user limits; the parallel-slot limit is replaced by the
-        // worker count here).
+        // dispatch quantum here).
         for &(_, src) in pairs {
             let permit = self.users.admit(key, src, self.system.sim().now_hours())?;
             drop(permit);
@@ -241,63 +244,30 @@ impl<'s> RevtrService<'s> {
             tele.record("service.batch.size", pairs.len() as u64);
             tele.record("service.batch.workers", workers as u64);
         }
-        let next = AtomicUsize::new(0);
-        let panicked = AtomicBool::new(false);
-        // Workers stream `(index, result)` over a channel instead of writing
-        // into per-slot mutexes: sends are lock-free on the hot path and the
-        // collector re-orders into input order at the end. Each measurement
-        // runs under `catch_unwind` so one panicking worker surfaces as a
-        // `ServiceError` instead of unwinding through the scope and taking
-        // the whole service (and its caller) down with it.
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, RevtrResult)>();
-        let run = crossbeam::thread::scope(|s| {
-            let next = &next;
-            let panicked = &panicked;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                s.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= pairs.len() || panicked.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    // Queue depth at dispatch is a pure function of the
-                    // claimed index, so the recorded distribution is
-                    // identical for any worker count or interleaving.
-                    tele.record("service.batch.queue_depth", (pairs.len() - i) as u64);
-                    let (dst, src) = pairs[i];
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.system.measure(dst, src)
-                    })) {
-                        Ok(r) => {
-                            if tx.send((i, r)).is_err() {
-                                break; // collector gone: campaign is over
-                            }
-                        }
-                        Err(_) => {
-                            panicked.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                });
-            }
-        });
-        debug_assert!(run.is_ok(), "workers catch their own panics");
-        drop(tx);
-        if panicked.load(Ordering::Relaxed) {
-            return Err(ServiceError::WorkerPanicked);
+        // Queue depth at admission is a pure function of the index, so
+        // the recorded distribution is identical for any worker count
+        // (and matches what the old thread pool recorded at claim time).
+        for i in 0..pairs.len() {
+            tele.record("service.batch.queue_depth", (pairs.len() - i) as u64);
         }
-        let mut slots: Vec<Option<RevtrResult>> = (0..pairs.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-        let out: Vec<RevtrResult> = slots
-            .into_iter()
-            .map(|m| m.expect("every index measured"))
-            .collect();
-        for r in &out {
+        // The loop thread owns the schedule; `workers` scoped threads
+        // overlap each round's step execution. A panicking measurement
+        // surfaces as a `ServiceError` instead of unwinding into the
+        // caller with the campaign half-archived.
+        let outcome = self
+            .system
+            .run_campaign(
+                pairs,
+                LoopConfig {
+                    workers,
+                    ..LoopConfig::parallel()
+                },
+            )
+            .map_err(|_| ServiceError::WorkerPanicked)?;
+        for r in &outcome.results {
             self.store.push(r);
         }
-        Ok(out)
+        Ok(outcome.results)
     }
 
     /// NDT hook (Appx. A): when a speed-test client measures against an

@@ -122,16 +122,24 @@ impl IngressDb {
     /// Build by probing `prefixes` from `vps` with heuristics `h`.
     ///
     /// This is the weekly background measurement of §4.3; probes are
-    /// charged to the prober's counters (pings + RR).
+    /// charged to the prober's counters (pings + RR). Survey probes
+    /// bypass the measurement cache entirely: they are VP→scan-destination
+    /// RR pings no reverse-traceroute measurement ever re-issues (the
+    /// engine probes source→hop), so caching them only bloats the store —
+    /// they were ~94% of all inserts at an ~0.8% overall hit rate before
+    /// this was turned off. Within one build the survey never self-hits
+    /// (each (vp, dest) pair is probed once), so skipping the cache does
+    /// not change the probes sent or the replies seen.
     pub fn build(
         prober: &Prober<'_>,
         vps: &[Addr],
         prefixes: &[PrefixId],
         h: Heuristics,
     ) -> IngressDb {
+        let survey = prober.with_cache_enabled(false);
         let mut db = IngressDb::default();
         for &p in prefixes {
-            let info = probe_prefix(prober, vps, p, h);
+            let info = probe_prefix(&survey, vps, p, h);
             db.per_prefix.insert(p, info);
         }
         db.compute_global_order(vps);

@@ -20,7 +20,7 @@ use revtr_suite::atlas::select_atlas_probes;
 use revtr_suite::audit::Auditor;
 use revtr_suite::netsim::{Addr, FaultConfig, Sim, SimConfig};
 use revtr_suite::probing::{Prober, RetryPolicy, Telemetry};
-use revtr_suite::revtr::{EngineConfig, HopMethod, RevtrSystem, Status};
+use revtr_suite::revtr::{BatchPolicy, EngineConfig, HopMethod, LoopConfig, RevtrSystem, Status};
 use revtr_suite::vpselect::{Heuristics, IngressDb};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -183,6 +183,29 @@ fn run_with_prober(sim: &Sim, prober: Prober<'_>, workers: usize) -> Vec<Fingerp
         .collect()
 }
 
+/// Run the baseline campaign on the deterministic event loop instead of
+/// the serial driver, returning fingerprints in input order.
+fn run_event_loop(sim: &Sim, lc: LoopConfig) -> Vec<Fingerprint> {
+    let prober = Prober::new(sim);
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 100, 6);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = pool.len();
+    let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    let (src, dests) = workload(sim, 24);
+    sys.register_source(src);
+    let pairs: Vec<(Addr, Addr)> = dests.iter().map(|&d| (d, src)).collect();
+    let outcome = sys.run_campaign(&pairs, lc).expect("no task panicked");
+    assert_eq!(
+        outcome.inflight_peak,
+        pairs.len(),
+        "event loop admits the whole campaign up front"
+    );
+    outcome.results.iter().map(fingerprint).collect()
+}
+
 fn assert_arms_identical(name: &str, seed: u64, base: &[Fingerprint], arm: &[Fingerprint]) {
     assert_eq!(
         base.len(),
@@ -226,6 +249,81 @@ fn worker_count_preserves_stitched_paths() {
             },
         );
         assert_arms_identical("8 workers", seed, &base, &parallel);
+    }
+}
+
+#[test]
+fn event_loop_quantum_preserves_stitched_paths() {
+    // The virtual event loop must stitch exactly what the serial driver
+    // stitches, at any dispatch quantum: the scheduled interleaving
+    // changes, each request's own probe sequence does not.
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        for quantum in [1usize, 4, 16] {
+            let looped = run_event_loop(
+                &sim,
+                LoopConfig {
+                    quantum,
+                    policy: BatchPolicy::FillFirst,
+                    workers: 1,
+                },
+            );
+            assert_arms_identical(&format!("event loop q{quantum}"), seed, &base, &looped);
+        }
+    }
+}
+
+#[test]
+fn event_loop_dispatch_workers_preserve_stitched_paths() {
+    // The parallel dispatch path only overlaps a round's step execution
+    // — the schedule itself (round formation, result processing) stays
+    // on the loop thread in (vtime, id, seq) order — so any worker
+    // count, including the production LoopConfig::parallel() shape,
+    // must stitch exactly what the serial loop stitches.
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        for workers in [1usize, 4, 16] {
+            let looped = run_event_loop(
+                &sim,
+                LoopConfig {
+                    quantum: 64,
+                    policy: BatchPolicy::FillFirst,
+                    workers,
+                },
+            );
+            assert_arms_identical(&format!("event loop w{workers}"), seed, &base, &looped);
+        }
+    }
+}
+
+#[test]
+fn event_loop_batch_policy_preserves_stitched_paths() {
+    // Fill-first and deadline-first round formation dispatch the same
+    // per-request step sequences in different global orders; the
+    // stitched paths must be bit-identical either way.
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let base = run_arm(&sim, &Arm::baseline());
+        let fill = run_event_loop(
+            &sim,
+            LoopConfig {
+                quantum: 8,
+                policy: BatchPolicy::FillFirst,
+                workers: 1,
+            },
+        );
+        let deadline = run_event_loop(
+            &sim,
+            LoopConfig {
+                quantum: 8,
+                policy: BatchPolicy::DeadlineFirst,
+                workers: 1,
+            },
+        );
+        assert_arms_identical("fill-first", seed, &base, &fill);
+        assert_arms_identical("deadline-first", seed, &base, &deadline);
     }
 }
 
