@@ -31,12 +31,25 @@ cargo test -q --release --test metamorphic telemetry
 
 # Stitch-trace audit gate: every accepted hop of a standard-scale campaign
 # replays soundly against the oracle — zero Unsound, zero PolicyViolation
-# (revtr-cli exits nonzero otherwise).
-echo "== stitch-trace audit gate (release, standard scale, seeds 1/7/42) =="
+# (revtr-cli exits nonzero otherwise). Each seed runs both stop-set arms:
+# the on arm additionally proves reused stop-set evidence replays sound.
+echo "== stitch-trace audit gate (release, standard scale, seeds 1/7/42, stop sets off/on) =="
 cargo build -q --release -p revtr-eval
 for seed in 1 7 42; do
   ./target/release/revtr-cli audit --scale standard --seed "$seed" \
     | tail -n 1
+  ./target/release/revtr-cli audit --scale standard --seed "$seed" --stop-sets on \
+    | tail -n 1
+done
+
+# Probe-economy gate: campaign-wide stop sets must cut measurement probes
+# per revtr by >= 25% on the standard campaign while coverage and accuracy
+# stay within 0.02 of the stop-sets-off control (revtr-cli exits nonzero
+# otherwise).
+echo "== probe-economy gate (release, standard scale, seeds 1/7/42) =="
+for seed in 1 7 42; do
+  ./target/release/revtr-cli economy --scale standard --seed "$seed" \
+    | tail -n 2
 done
 
 # Telemetry profile gate: the metrics subcommand must produce a populated
@@ -78,12 +91,14 @@ echo "$faulted_out" | grep -q 'stuck-requests' || { echo "stuck-request alert mi
 echo "$faulted_out" | tail -n 1
 
 # Perf-regression sentinel: re-run the standard benchmark and compare
-# against the committed BENCH_PR6.json baseline (bench-compare exits
-# nonzero past tolerance).
-echo "== perf-regression sentinel (release, standard seed 1 vs BENCH_PR6.json) =="
-bench_new=$(mktemp /tmp/bench_pr6.XXXXXX.json)
-./target/release/revtr-cli bench-report --scale standard --seed 1 --file "$bench_new"
-./target/release/revtr-cli bench-compare BENCH_PR6.json "$bench_new" | tail -n 1
+# against the committed BENCH_PR7.json baseline (bench-compare exits
+# nonzero past tolerance). The baseline runs with stop sets on — the
+# production configuration this PR lands — so the sentinel also guards
+# the stop-set hit rates recorded in the report.
+echo "== perf-regression sentinel (release, standard seed 1 vs BENCH_PR7.json) =="
+bench_new=$(mktemp /tmp/bench_pr7.XXXXXX.json)
+./target/release/revtr-cli bench-report --scale standard --seed 1 --stop-sets on --file "$bench_new"
+./target/release/revtr-cli bench-compare BENCH_PR7.json "$bench_new" | tail -n 1
 rm -f "$bench_new"
 
 # Concurrency gate: the event loop must sustain 50 000 in-flight reverse

@@ -15,7 +15,7 @@
 
 use revtr_aliasing::AliasResolver;
 use revtr_netsim::Addr;
-use revtr_probing::Prober;
+use revtr_probing::{Prober, StopSet};
 use std::collections::HashMap;
 
 /// Where an address intersects the atlas.
@@ -77,6 +77,22 @@ impl SourceAtlas {
         probes: &[Addr],
         rr_atlas: bool,
     ) -> SourceAtlas {
+        SourceAtlas::build_with_discovery(prober, source, probes, rr_atlas, None)
+    }
+
+    /// [`SourceAtlas::build`] with an optional campaign forward-discovery
+    /// set: RR-atlas observations for each `(source, hop)` are looked up
+    /// there before probing and recorded after, so interfaces shared by
+    /// many atlas traces are RR-pinged once per campaign instead of once
+    /// per trace. Indexing (alias anchoring) still runs per trace — only
+    /// the probe itself is deduplicated.
+    pub fn build_with_discovery(
+        prober: &Prober<'_>,
+        source: Addr,
+        probes: &[Addr],
+        rr_atlas: bool,
+        discovery: Option<&StopSet>,
+    ) -> SourceAtlas {
         let mut atlas = SourceAtlas {
             source,
             traces: Vec::with_capacity(probes.len()),
@@ -84,13 +100,25 @@ impl SourceAtlas {
             rr_atlas_enabled: rr_atlas,
         };
         for &vp in probes {
-            atlas.add_trace(prober, vp, rr_atlas);
+            atlas.add_trace_with_discovery(prober, vp, rr_atlas, discovery);
         }
         atlas
     }
 
     /// Measure one more traceroute from `vp` and index it.
     pub fn add_trace(&mut self, prober: &Prober<'_>, vp: Addr, rr_atlas: bool) {
+        self.add_trace_with_discovery(prober, vp, rr_atlas, None);
+    }
+
+    /// [`SourceAtlas::add_trace`], consulting a forward-discovery set for
+    /// the RR-atlas pass (see [`SourceAtlas::build_with_discovery`]).
+    pub fn add_trace_with_discovery(
+        &mut self,
+        prober: &Prober<'_>,
+        vp: Addr,
+        rr_atlas: bool,
+        discovery: Option<&StopSet>,
+    ) {
         let Some(t) = prober.traceroute_fresh(vp, self.source) else {
             return;
         };
@@ -103,7 +131,7 @@ impl SourceAtlas {
             hops: t.hops.clone(),
             at_hours: prober.sim().now_hours(),
         });
-        self.index_trace(prober, idx, rr_atlas);
+        self.index_trace(prober, idx, rr_atlas, discovery);
     }
 
     fn insert(&mut self, addr: Addr, inter: Intersection, prio: Priority) {
@@ -118,7 +146,13 @@ impl SourceAtlas {
         }
     }
 
-    fn index_trace(&mut self, prober: &Prober<'_>, idx: usize, rr_atlas: bool) {
+    fn index_trace(
+        &mut self,
+        prober: &Prober<'_>,
+        idx: usize,
+        rr_atlas: bool,
+        discovery: Option<&StopSet>,
+    ) {
         let hops: Vec<(usize, Addr)> = self.traces[idx]
             .hops
             .iter()
@@ -139,7 +173,21 @@ impl SourceAtlas {
             if a == self.source || prober.sim().host_prefix(a).is_some() {
                 continue; // only router hops are worth probing
             }
-            let Some(reply) = prober.atlas_rr_ping(self.source, self.source, a) else {
+            // Forward-discovery dedup: replay the campaign's existing RR
+            // observation for this (source, hop) if there is one —
+            // including "known unanswered" — and record fresh probes.
+            let reply = match discovery {
+                Some(d) => match d.forward(self.source, a) {
+                    Some(cached) => cached,
+                    None => {
+                        let fresh = prober.atlas_rr_ping(self.source, self.source, a);
+                        d.forward_insert(self.source, a, fresh.clone());
+                        fresh
+                    }
+                },
+                None => prober.atlas_rr_ping(self.source, self.source, a),
+            };
+            let Some(reply) = reply else {
                 continue;
             };
             let inter = Intersection { trace: idx, hop: i };

@@ -52,6 +52,13 @@ pub struct EngineConfig {
     /// is re-probed and the result flagged when a violating router is
     /// detected — extra probes for extra confidence.
     pub verify_dbr: bool,
+    /// Consult and feed the campaign-wide Doubletree-style stop sets
+    /// (`revtr_probing::stopset`): reuse earlier requests' reverse-hop
+    /// evidence at shared routers, skip predictably futile direct RR
+    /// probes, start spoofed ladders at remembered winner VPs, and dedup
+    /// RR-atlas probes per interface. Off by default — the ci.sh economy
+    /// gate A/Bs this knob against the off control.
+    pub use_stop_sets: bool,
     /// Symmetry assumption policy.
     pub symmetry: SymmetryPolicy,
     /// Spoofed probes per batch (paper: 3, §5.3).
@@ -75,6 +82,7 @@ impl EngineConfig {
             use_alias_datasets: false,
             registry_only_ip2as: false,
             verify_dbr: false,
+            use_stop_sets: false,
             symmetry: SymmetryPolicy::IntradomainOnly,
             batch_size: 3,
             atlas_size: 1000,

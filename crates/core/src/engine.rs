@@ -31,10 +31,10 @@ use crate::result::{
     Evidence, HopMethod, ProbeDelta, RevtrHop, RevtrResult, RevtrStats, Status, StitchEnd,
     StitchTrace,
 };
-use crate::system::{RevtrSystem, RrFound, RrMachine, RrProgress, StageStart};
+use crate::system::{novel, RevtrSystem, RrFound, RrHints, RrMachine, RrProgress, StageStart};
 use revtr_atlas::SourceAtlas;
 use revtr_netsim::{Addr, PrefixId};
-use revtr_probing::{RequestScope, Snapshot};
+use revtr_probing::{Contribution, Note, RequestScope, Snapshot, StoredRr};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::{Arc, Mutex};
@@ -108,7 +108,8 @@ pub struct CampaignOutcome {
     pub results: Vec<RevtrResult>,
     /// Peak number of admitted-but-unfinished measurements. The loop
     /// admits the whole campaign up front — concurrency costs a control
-    /// block, not a thread — so this equals the campaign size.
+    /// block, not a thread — so this equals the campaign size (capped at
+    /// the admission wave width when stop sets are enabled).
     pub inflight_peak: usize,
     /// Total control-block steps dispatched.
     pub events: u64,
@@ -201,6 +202,23 @@ pub(crate) struct MeasureTask {
     cur: Addr,
     iters: usize,
     phase: Phase,
+    /// Campaign request id — the middle component of stop-set
+    /// contribution stamps (0 on the serial [`RevtrSystem::measure`]
+    /// path, the pair index under [`RevtrSystem::run_campaign`]).
+    pub(crate) id: usize,
+    /// Per-request stop-set contribution sequence (stamp tie-break).
+    cseq: u64,
+    /// Whether the in-flight RR step skipped its direct probe on a
+    /// futility hint — a step that then reveals nothing must not publish
+    /// `DirectFutile` as if it had (re)measured the futility.
+    rr_direct_skipped: bool,
+    /// Same guard for the spoofed ladder: a step that skipped the ladder
+    /// on a `SpoofFutile` hint must not re-publish the futility.
+    rr_spoof_skipped: bool,
+    /// Whether the in-flight ladder saw any usable reply (see
+    /// `RrMachine::usable_seen`) — a ladder that did must not be
+    /// published as futile even when it revealed nothing novel here.
+    rr_ladder_usable: bool,
     /// Private virtual-time shadow, swapped in around each step (also the
     /// task's ready-time key in the event loop's priority queue).
     pub(crate) shadow_ms: f64,
@@ -227,9 +245,29 @@ impl MeasureTask {
             cur: dst,
             iters: 0,
             phase: Phase::Start,
+            id: 0,
+            cseq: 0,
+            rr_direct_skipped: false,
+            rr_spoof_skipped: false,
+            rr_ladder_usable: false,
             shadow_ms: 0.0,
             shadow_snap: Snapshot::default(),
         }
+    }
+
+    /// Buffer a stop-set contribution stamped with this task's own virtual
+    /// time and `(request id, sequence)` — a pure function of the task's
+    /// measurement history, so merge order is schedule-invariant.
+    fn contribute(&mut self, sys: &RevtrSystem<'_>, note: Note) {
+        let vtime = sys.prober().clock().thread_ms();
+        let seq = self.cseq;
+        self.cseq += 1;
+        sys.stopset().contribute(Contribution {
+            vtime,
+            req: self.id as u64,
+            seq,
+            note,
+        });
     }
 
     /// Advance the measurement by one stage (or one spoofed-batch round).
@@ -375,9 +413,60 @@ impl MeasureTask {
         }
         sys.stage_exit(self.req_mut(), atlas_span, &[("hit", 0)]);
 
-        // 2. Record route (direct probe now; spoofed rounds event-driven).
+        // 2. Campaign stop sets: reuse an earlier request's reverse-hop
+        // evidence at this (source, router) before spending any probes —
+        // the Doubletree-style backward stop. The stored hops are
+        // re-filtered against *this* path, and adoption replays the
+        // original provenance, exactly like a measurement-cache hit.
+        let hints = if sys.config().use_stop_sets {
+            let ss = sys.stage_enter(self.req_mut(), "stopset_backward");
+            let hit = sys.stopset().backward(self.src, self.cur);
+            let reused = hit.as_ref().map_or(0, |(s, _)| s.hops.len() as u64);
+            sys.stage_exit(
+                self.req_mut(),
+                ss,
+                &[("hit", u64::from(hit.is_some())), ("reused", reused)],
+            );
+            if let Some((stored, spoofed)) = hit {
+                let new = novel(&self.path_set, &stored.hops);
+                if !new.is_empty() {
+                    self.stats.stopset_reused_steps += 1;
+                    self.phase = Phase::RrAdopt(Some((new, stored.provenance, spoofed)));
+                    return None;
+                }
+            }
+            let stop = sys.stopset();
+            let skip_spoofed = stop.spoof_futile(self.cur);
+            // A skipped ladder has no use for its winner or VP prunes
+            // (and consulting them would inflate the hit counters).
+            let plan = if skip_spoofed {
+                None
+            } else {
+                sys.stop_plan_key(self.cur)
+            };
+            RrHints {
+                skip_direct: stop.direct_futile(self.src, self.cur),
+                skip_spoofed,
+                winner: plan.and_then(|p| stop.winner(p)),
+                futile: plan.map(|p| stop.futile_vps(p)).unwrap_or_default(),
+            }
+        } else {
+            RrHints::default()
+        };
+        self.rr_direct_skipped = hints.skip_direct;
+        self.rr_spoof_skipped = hints.skip_spoofed;
+        self.rr_ladder_usable = false;
+
+        // 3. Record route (direct probe now; spoofed rounds event-driven).
         let req = self.req.as_mut().expect("request scope opened in Start");
-        match sys.rr_begin(self.cur, self.src, &self.path_set, &mut self.stats, req) {
+        match sys.rr_begin(
+            self.cur,
+            self.src,
+            &self.path_set,
+            &mut self.stats,
+            req,
+            hints,
+        ) {
             RrProgress::Done(found) => self.after_primary_rr(sys, found),
             RrProgress::Pending(m) => self.phase = Phase::Rr(m),
         }
@@ -388,7 +477,17 @@ impl MeasureTask {
         let req = self.req.as_mut().expect("request scope opened in Start");
         match sys.rr_round(&mut m, self.src, &self.path_set, &mut self.stats, req) {
             None => self.phase = Phase::Rr(m),
-            Some(found) => self.after_primary_rr(sys, found),
+            Some(found) => {
+                self.rr_ladder_usable = m.usable_seen;
+                if sys.config().use_stop_sets {
+                    if let Some(plan) = sys.stop_plan_key(self.cur) {
+                        for vp in std::mem::take(&mut m.futile_vps) {
+                            self.contribute(sys, Note::VpFutile { plan, vp });
+                        }
+                    }
+                }
+                self.after_primary_rr(sys, found);
+            }
         }
         None
     }
@@ -396,6 +495,73 @@ impl MeasureTask {
     /// The primary RR step concluded: start the Appx. E verification
     /// re-probe when configured and applicable, else go adopt.
     fn after_primary_rr(&mut self, sys: &RevtrSystem<'_>, found: Option<RrFound>) {
+        // Publish what the step learned to the campaign stop sets
+        // (buffered; visible to other requests after the next merge
+        // barrier). `self.cur` is still the frontier router here — adopt
+        // has not advanced it yet.
+        if sys.config().use_stop_sets {
+            match found.as_ref() {
+                Some((rev, prov, spoofed)) => {
+                    self.contribute(
+                        sys,
+                        Note::Backward {
+                            src: self.src,
+                            cur: self.cur,
+                            spoofed: *spoofed,
+                            stored: StoredRr {
+                                hops: rev.clone(),
+                                provenance: *prov,
+                            },
+                        },
+                    );
+                    if *spoofed {
+                        if let Some(plan) = sys.stop_plan_key(self.cur) {
+                            self.contribute(
+                                sys,
+                                Note::Winner {
+                                    plan,
+                                    vp: prov.sender,
+                                },
+                            );
+                        }
+                        // The spoofed ladder won, so the direct probe
+                        // (when actually sent) revealed nothing.
+                        if !self.rr_direct_skipped {
+                            self.contribute(
+                                sys,
+                                Note::DirectFutile {
+                                    src: self.src,
+                                    cur: self.cur,
+                                },
+                            );
+                        }
+                    }
+                }
+                None => {
+                    if !self.rr_direct_skipped {
+                        self.contribute(
+                            sys,
+                            Note::DirectFutile {
+                                src: self.src,
+                                cur: self.cur,
+                            },
+                        );
+                    }
+                    // An empty-handed conclusion with the ladder actually
+                    // run means the *full* ladder was exhausted (the
+                    // winner-solo path falls back to the staged full
+                    // queues before concluding).
+                    // Only mark the router spoof-futile when the whole
+                    // ladder saw *zero usable replies*: a reply that was
+                    // usable but merely not novel for this request's path
+                    // is request-specific evidence, not proof the router
+                    // ignores spoofed RR probes.
+                    if !self.rr_spoof_skipped && !self.rr_ladder_usable {
+                        self.contribute(sys, Note::SpoofFutile { cur: self.cur });
+                    }
+                }
+            }
+        }
         if sys.config().verify_dbr {
             if let Some(f) = found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
                 // Appx. E optional mode: re-probe the first revealed hop
@@ -409,7 +575,17 @@ impl MeasureTask {
                     let expected = f.0[1];
                     let vspan = sys.stage_enter(self.req_mut(), "rr_verify");
                     let req = self.req.as_mut().expect("request scope opened in Start");
-                    match sys.rr_begin(first, self.src, &self.path_set, &mut self.stats, req) {
+                    // The verification re-probe neither consults nor feeds
+                    // the stop sets: its whole point is an independent
+                    // re-measurement.
+                    match sys.rr_begin(
+                        first,
+                        self.src,
+                        &self.path_set,
+                        &mut self.stats,
+                        req,
+                        RrHints::default(),
+                    ) {
                         RrProgress::Done(v) => {
                             self.close_verify(sys, v, expected, vspan);
                             self.phase = Phase::RrAdopt(found);
@@ -593,15 +769,27 @@ impl MeasureTask {
     }
 }
 
+/// Campaign wave width when stop sets are enabled: requests admitted per
+/// merge barrier. Between barriers tasks only *buffer* stop-set
+/// contributions, so every request in a wave sees exactly the evidence
+/// published by earlier waves — a pure function of the input order, never
+/// of worker scheduling. Smaller waves share evidence sooner; larger ones
+/// expose more concurrency. 64 keeps the admission pipeline full while
+/// still letting a 2000-request campaign reuse evidence ~30 times over.
+const STOPSET_WAVE: usize = 64;
+
 impl<'s> RevtrSystem<'s> {
     /// Run a whole campaign on the deterministic virtual event loop.
     ///
-    /// Every `(dst, src)` pair is admitted up front as a control block at
-    /// virtual time zero; the loop then repeatedly pops the earliest
-    /// event — ordered by `(virtual time, request id, sequence)` — and
-    /// advances that block one stage or one spoofed-batch round. Spoofed
-    /// 10 s collection timeouts thus interleave across requests instead
-    /// of each parking a worker thread.
+    /// Every `(dst, src)` pair is admitted as a control block at virtual
+    /// time zero; the loop then repeatedly pops the earliest event —
+    /// ordered by `(virtual time, request id, sequence)` — and advances
+    /// that block one stage or one spoofed-batch round. Spoofed 10 s
+    /// collection timeouts thus interleave across requests instead of
+    /// each parking a worker thread. With stop sets off the whole
+    /// campaign is admitted up front; with them on, admission proceeds in
+    /// [`STOPSET_WAVE`]-sized waves with a deterministic stop-set merge
+    /// barrier between waves.
     ///
     /// Results come back in input order. A panicking measurement aborts
     /// the campaign and surfaces as `Err` with the panic payload (the
@@ -612,51 +800,82 @@ impl<'s> RevtrSystem<'s> {
         pairs: &[(Addr, Addr)],
         lc: LoopConfig,
     ) -> std::thread::Result<CampaignOutcome> {
+        let use_stop = self.config().use_stop_sets;
+        let wave = if use_stop { STOPSET_WAVE } else { usize::MAX };
         let mut tasks: Vec<Option<MeasureTask>> = pairs
             .iter()
-            .map(|&(dst, src)| Some(MeasureTask::new(dst, src)))
-            .collect();
-        let mut results: Vec<Option<RevtrResult>> = pairs.iter().map(|_| None).collect();
-        let mut heap: BinaryHeap<Reverse<EventKey>> = (0..pairs.len())
-            .map(|id| {
-                Reverse(EventKey {
-                    vtime: 0.0,
-                    id,
-                    seq: 0,
-                })
+            .enumerate()
+            .map(|(id, &(dst, src))| {
+                let mut t = MeasureTask::new(dst, src);
+                t.id = id;
+                Some(t)
             })
             .collect();
-        let inflight_peak = pairs.len();
+        let mut results: Vec<Option<RevtrResult>> = pairs.iter().map(|_| None).collect();
+        let inflight_peak = pairs.len().min(wave);
         let mut events: u64 = 0;
         let round = match lc.policy {
             BatchPolicy::DeadlineFirst => 1,
             BatchPolicy::FillFirst => lc.quantum.max(1),
         };
         let workers = lc.workers.max(1).min(pairs.len().max(1));
-        if workers > 1 {
-            // Never more dispatch workers than the host has cores:
-            // oversubscribed workers add only scheduler churn and lock
-            // convoys on the shared schedule (a single-core host
-            // measurably loses ~5% wall at 8 workers). The clamp can
-            // land on 1 and still take the pool path — run-to-completion
-            // claiming, not the serial loop's round interleaving — so a
-            // `workers > 1` config keeps its dispatch mode everywhere
-            // and only the thread count adapts to the host.
-            let pool = workers.min(
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
-            );
-            self.run_campaign_workers(&mut tasks, &mut results, &mut heap, pool, &mut events)?;
-            return Ok(CampaignOutcome {
-                results: results
-                    .into_iter()
-                    .map(|r| r.expect("every admitted task completed"))
-                    .collect(),
-                inflight_peak,
-                events,
-            });
+        let mut start = 0;
+        while start < pairs.len() {
+            let end = pairs.len().min(start.saturating_add(wave));
+            let mut heap: BinaryHeap<Reverse<EventKey>> = (start..end)
+                .map(|id| {
+                    Reverse(EventKey {
+                        vtime: 0.0,
+                        id,
+                        seq: 0,
+                    })
+                })
+                .collect();
+            if workers > 1 {
+                // Never more dispatch workers than the host has cores:
+                // oversubscribed workers add only scheduler churn and lock
+                // convoys on the shared schedule (a single-core host
+                // measurably loses ~5% wall at 8 workers). The clamp can
+                // land on 1 and still take the pool path — run-to-completion
+                // claiming, not the serial loop's round interleaving — so a
+                // `workers > 1` config keeps its dispatch mode everywhere
+                // and only the thread count adapts to the host.
+                let pool = workers.min(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                );
+                self.run_campaign_workers(&mut tasks, &mut results, &mut heap, pool, &mut events)?;
+            } else {
+                self.run_campaign_serial(&mut tasks, &mut results, &mut heap, round, &mut events)?;
+            }
+            if use_stop {
+                // Wave barrier: fold this wave's buffered contributions
+                // into the published view in (vtime, id, seq) order.
+                self.stopset().merge_pending();
+            }
+            start = end;
         }
+        Ok(CampaignOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every admitted task completed"))
+                .collect(),
+            inflight_peak,
+            events,
+        })
+    }
+
+    /// The serial dispatch path: drain the wave's schedule in rounds of
+    /// `round` due events (the `quantum`/`policy` shape).
+    fn run_campaign_serial(
+        &self,
+        tasks: &mut [Option<MeasureTask>],
+        results: &mut [Option<RevtrResult>],
+        heap: &mut BinaryHeap<Reverse<EventKey>>,
+        round: usize,
+        events: &mut u64,
+    ) -> std::thread::Result<()> {
         let mut due: Vec<EventKey> = Vec::with_capacity(round);
         while let Some(Reverse(ev)) = heap.pop() {
             // Form the round: the earliest event plus up to `round - 1`
@@ -674,7 +893,7 @@ impl<'s> RevtrSystem<'s> {
                 }
             }
             for ev in due.drain(..) {
-                events += 1;
+                *events += 1;
                 let task = tasks[ev.id].as_mut().expect("pending task exists");
                 match self.step_task(task)? {
                     Some(r) => {
@@ -691,14 +910,7 @@ impl<'s> RevtrSystem<'s> {
                 }
             }
         }
-        Ok(CampaignOutcome {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every admitted task completed"))
-                .collect(),
-            inflight_peak,
-            events,
-        })
+        Ok(())
     }
 
     /// The parallel dispatch path: `workers` scoped threads claim

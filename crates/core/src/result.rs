@@ -207,6 +207,9 @@ pub struct RevtrStats {
     pub intersected_trace: Option<usize>,
     /// Hop index within the intersected trace (for staleness analysis).
     pub intersected_hop: Option<usize>,
+    /// RR steps answered from the campaign backward stop set (reused
+    /// evidence; zero probes spent).
+    pub stopset_reused_steps: u32,
     /// With [`verify_dbr`](struct@crate::EngineConfig) enabled: a
     /// redundant probe observed a hop violating destination-based routing
     /// — the path should be treated as suspicious (Appx. E).

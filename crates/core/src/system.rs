@@ -22,7 +22,7 @@ use revtr_aliasing::{AliasResolver, Ip2As, RelationshipDb};
 use revtr_atlas::{Intersection, SourceAtlas};
 use revtr_netsim::hash::mix3;
 use revtr_netsim::{Addr, AsId, PrefixId, Sim};
-use revtr_probing::{ProbeLoss, Prober, RequestScope, RrProvenance, Snapshot, SpanToken};
+use revtr_probing::{ProbeLoss, Prober, RequestScope, RrProvenance, Snapshot, SpanToken, StopSet};
 use revtr_vpselect::{IngressDb, IngressQueue};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -119,11 +119,43 @@ pub(crate) struct RrMachine {
     cursors: Vec<usize>,
     stalls: Vec<u32>,
     active: Vec<usize>,
+    /// Full VP queues held back while the stop-set winner VP runs solo;
+    /// installed (once) if the winner round reveals nothing.
+    staged: Option<Vec<IngressQueue>>,
+    /// Whether any round produced a *usable* reply (ingress check passed
+    /// and slots survived past the target), even if it revealed nothing
+    /// novel for this request's path. Gates the cross-source
+    /// `SpoofFutile` publication: only a ladder with zero usable replies
+    /// proves the router unreachable by this plan's VPs.
+    pub(crate) usable_seen: bool,
+    /// VPs whose probe this step *proved* futile at the router: a reply
+    /// arrived (or the probe went genuinely unanswered — not a transient,
+    /// fault-attributed loss) without a usable observation. Drained by
+    /// the engine into `VpFutile` stop-set contributions.
+    pub(crate) futile_vps: Vec<Addr>,
+}
+
+/// Hints a record-route step takes from the campaign stop sets: facts an
+/// earlier request already paid probes to learn at the same router.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RrHints {
+    /// Skip the direct (non-spoofed) RR ping — known futile for this
+    /// source at this router.
+    pub(crate) skip_direct: bool,
+    /// Skip the whole spoofed ladder — an earlier request exhausted it at
+    /// this router without a single usable reply.
+    pub(crate) skip_spoofed: bool,
+    /// Open the spoofed ladder with this VP alone (the router's
+    /// remembered winner); the full queues stay staged as a fallback.
+    pub(crate) winner: Option<Addr>,
+    /// VPs proven futile at this router by earlier ladders — pruned from
+    /// the queues before the first batch forms.
+    pub(crate) futile: HashSet<Addr>,
 }
 
 /// The hops of `hops` not already on the path, first occurrence order,
 /// deduplicated (the RR steps' novelty filter).
-fn novel(path_set: &HashSet<Addr>, hops: &[Addr]) -> Vec<Addr> {
+pub(crate) fn novel(path_set: &HashSet<Addr>, hops: &[Addr]) -> Vec<Addr> {
     let mut out = Vec::new();
     let mut seen = path_set.clone();
     for &h in hops {
@@ -158,6 +190,9 @@ pub struct RevtrSystem<'s> {
     usage: Mutex<HashMap<(Addr, usize), u64>>,
     /// Per-source refresh generation (selects new random atlas probes).
     generation: Mutex<HashMap<Addr, u64>>,
+    /// The campaign-wide probe-economy layer (consulted and fed only when
+    /// [`EngineConfig::use_stop_sets`] is set).
+    stopset: Arc<StopSet>,
 }
 
 impl<'s> RevtrSystem<'s> {
@@ -198,7 +233,14 @@ impl<'s> RevtrSystem<'s> {
             extra_adjacency: RwLock::new(HashMap::new()),
             usage: Mutex::new(HashMap::new()),
             generation: Mutex::new(HashMap::new()),
+            stopset: Arc::new(StopSet::new()),
         }
+    }
+
+    /// The campaign stop sets (empty and unconsulted unless
+    /// [`EngineConfig::use_stop_sets`] is set).
+    pub fn stopset(&self) -> &StopSet {
+        &self.stopset
     }
 
     /// The engine's configuration.
@@ -270,11 +312,12 @@ impl<'s> RevtrSystem<'s> {
             return;
         }
         let probes = self.pick_atlas_probes(src, &[]);
-        let atlas = Arc::new(SourceAtlas::build(
+        let atlas = Arc::new(SourceAtlas::build_with_discovery(
             &self.prober,
             src,
             &probes,
             self.cfg.use_rr_atlas,
+            self.cfg.use_stop_sets.then(|| &*self.stopset),
         ));
         self.atlases.write().insert(src, atlas);
         self.alias_index.write().remove(&src);
@@ -300,11 +343,17 @@ impl<'s> RevtrSystem<'s> {
         };
         *self.generation.lock().entry(src).or_insert(0) += 1;
         let probes = self.pick_atlas_probes(src, &used);
-        let atlas = Arc::new(SourceAtlas::build(
+        if self.cfg.use_stop_sets {
+            // A refresh exists to re-measure staleness; replaying the old
+            // discovery observations would defeat it.
+            self.stopset.forward_clear_source(src);
+        }
+        let atlas = Arc::new(SourceAtlas::build_with_discovery(
             &self.prober,
             src,
             &probes,
             self.cfg.use_rr_atlas,
+            self.cfg.use_stop_sets.then(|| &*self.stopset),
         ));
         self.atlases.write().insert(src, atlas);
         self.alias_index.write().remove(&src);
@@ -437,6 +486,15 @@ impl<'s> RevtrSystem<'s> {
         self.sim.topo().asn(owner).prefixes.first().copied()
     }
 
+    /// The ingress-plan key encoded for the stop-set hint maps. Two
+    /// routers with equal keys get bitwise-identical VP queues from
+    /// [`RevtrSystem::vp_queues`], which is what makes plan-keyed ladder
+    /// hints (winner VP, per-VP futility) transfer between siblings: the
+    /// ladder walks the same VP sequence at both.
+    pub(crate) fn stop_plan_key(&self, addr: Addr) -> Option<u64> {
+        self.plan_key(addr).map(|p| u64::from(p.0))
+    }
+
     /// VP queues for probing `cur` under the configured selection policy.
     fn vp_queues(&self, cur: Addr) -> Vec<IngressQueue> {
         match self.cfg.vp_selection {
@@ -540,28 +598,78 @@ impl<'s> RevtrSystem<'s> {
         path_set: &HashSet<Addr>,
         stats: &mut RevtrStats,
         req: &mut RequestScope,
+        hints: RrHints,
     ) -> RrProgress {
         let st = self.stage_enter(req, "rr_step");
 
-        // Direct (non-spoofed) RR ping from the source.
-        let direct = self.stage_enter(req, "rr_direct");
-        if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
-            if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
-                let new = novel(path_set, &rev);
-                if !new.is_empty() {
-                    self.stage_exit(req, direct, &[("hit", 1)]);
-                    return RrProgress::Done(self.rr_close(req, st, Some((new, prov, false))));
+        // Direct (non-spoofed) RR ping from the source — skipped when an
+        // earlier request proved it futile on this ingress plan.
+        if !hints.skip_direct {
+            let direct = self.stage_enter(req, "rr_direct");
+            if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
+                if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
+                    let new = novel(path_set, &rev);
+                    if !new.is_empty() {
+                        self.stage_exit(req, direct, &[("hit", 1)]);
+                        return RrProgress::Done(self.rr_close(req, st, Some((new, prov, false))));
+                    }
                 }
             }
+            self.stage_exit(req, direct, &[("hit", 0)]);
         }
-        self.stage_exit(req, direct, &[("hit", 0)]);
+
+        // A futility hint ends the step before the ladder even forms: an
+        // earlier request exhausted this plan's full ladder without any
+        // evidence, so the step falls through to the next technique.
+        if hints.skip_spoofed {
+            return RrProgress::Done(self.rr_close(req, st, None));
+        }
 
         // Spoofed batches from the VP plan. Queues can legitimately be
         // empty (an ingress with no in-range VPs): they must be excluded
         // up front or the batch composer would index past the end.
         let spoof_span = self.stage_enter(req, "rr_spoofed");
         let batches0 = stats.batches;
-        let queues = self.vp_queues(cur);
+        let mut full = self.vp_queues(cur);
+        // Deprioritize (never drop) VPs earlier ladders proved futile on
+        // this plan: a stable partition walks the live candidates first,
+        // so a winning ladder skips the known-dead prefix, while an
+        // exhausting ladder still reaches every VP — reordering cannot
+        // cost coverage the way pruning measurably does (a "futile"
+        // sibling VP is occasionally the only one in range here).
+        if !hints.futile.is_empty() {
+            let mut moved = 0u64;
+            for q in &mut full {
+                let (live, dead): (Vec<Addr>, Vec<Addr>) = q
+                    .vps
+                    .iter()
+                    .copied()
+                    .partition(|v| !hints.futile.contains(v));
+                if !dead.is_empty() && !live.is_empty() {
+                    moved += dead.len() as u64;
+                    q.vps = live;
+                    q.vps.extend(dead);
+                }
+            }
+            self.stopset.note_vp_skips(moved);
+        }
+        // A remembered ladder winner opens the step solo (one probe
+        // instead of a whole batch); the full queues stay staged as the
+        // fallback. The solo queue keeps the winner's own ingress
+        // expectation, so a usable reply passes the same check a full
+        // ladder would have applied.
+        let solo = hints.winner.and_then(|w| {
+            full.iter()
+                .find(|q| q.vps.contains(&w))
+                .map(|q| IngressQueue {
+                    expected_ingress: q.expected_ingress,
+                    vps: vec![w],
+                })
+        });
+        let (queues, staged) = match solo {
+            Some(q) => (vec![q], Some(full)),
+            None => (full, None),
+        };
         let cursors: Vec<usize> = vec![0; queues.len()];
         let stalls: Vec<u32> = vec![0; queues.len()];
         let active: Vec<usize> = (0..queues.len())
@@ -584,6 +692,9 @@ impl<'s> RevtrSystem<'s> {
             cursors,
             stalls,
             active,
+            staged,
+            usable_seen: false,
+            futile_vps: Vec::new(),
         })
     }
 
@@ -630,6 +741,7 @@ impl<'s> RevtrSystem<'s> {
 
         let mut best: Vec<Addr> = Vec::new();
         let mut best_prov: Option<RrProvenance> = None;
+        let mut usable_slots = vec![false; batch.len()];
         for (slot, (qi, _vp)) in batch.iter().enumerate() {
             let q = &m.queues[*qi];
             let usable = replies.replies[slot].as_ref().and_then(|r| {
@@ -642,6 +754,8 @@ impl<'s> RevtrSystem<'s> {
                 Self::extract_reverse(&r.slots, m.cur)
             });
             if let Some(rev) = usable {
+                m.usable_seen = true;
+                usable_slots[slot] = true;
                 let new = novel(path_set, &rev);
                 if new.len() > best.len() {
                     best = new;
@@ -668,17 +782,37 @@ impl<'s> RevtrSystem<'s> {
         // because of packet loss. Every other probed queue advances to its
         // next (less close) VP — whether it failed the ingress check, went
         // genuinely unanswered, or answered without revealing new hops.
-        for (slot, &(qi, _)) in batch.iter().enumerate() {
+        for (slot, &(qi, vp)) in batch.iter().enumerate() {
             if replies.transient[slot] && m.stalls[qi] < TRANSIENT_STALL_BUDGET {
                 m.stalls[qi] += 1;
             } else {
                 m.cursors[qi] += 1;
                 m.stalls[qi] = 0;
+                // A non-transient failure *proves* this VP futile at the
+                // router (unanswered, wrong ingress, or slots spent before
+                // arrival) — campaign evidence. A usable-but-not-novel
+                // reply is request-specific and proves nothing.
+                if !replies.transient[slot] && !usable_slots[slot] {
+                    m.futile_vps.push(vp);
+                }
             }
         }
         let (cursors, queues) = (&m.cursors, &m.queues);
         m.active.retain(|&qi| cursors[qi] < queues[qi].vps.len());
         if m.active.is_empty() {
+            // The solo winner round came up empty: fall back (once) to the
+            // staged full ladder before concluding the step.
+            if let Some(full) = m.staged.take() {
+                m.cursors = vec![0; full.len()];
+                m.stalls = vec![0; full.len()];
+                m.active = (0..full.len())
+                    .filter(|&qi| !full[qi].vps.is_empty())
+                    .collect();
+                m.queues = full;
+                if !m.active.is_empty() {
+                    return None;
+                }
+            }
             let spoof_span = std::mem::replace(&mut m.spoof_span, StageStart::empty());
             self.stage_exit(
                 req,
@@ -810,6 +944,11 @@ impl<'s> RevtrSystem<'s> {
         let mut task = MeasureTask::new(dst, src);
         loop {
             if let Some(r) = task.step(self) {
+                if self.cfg.use_stop_sets {
+                    // Serial requests merge at completion: the next
+                    // request sees everything this one learned.
+                    self.stopset.merge_pending();
+                }
                 return r;
             }
         }

@@ -65,8 +65,18 @@ impl AuditReport {
 
 /// Run the campaign and audit every stitch trace.
 pub fn run(base: SimConfig, scale: EvalScale) -> AuditReport {
+    run_with_stop_sets(base, scale, false)
+}
+
+/// [`run`], with the campaign-wide Doubletree stop sets toggled. The
+/// stop-sets-on arm is what proves reused backward evidence replays
+/// soundly: adopted hops carry the original probe's provenance, so the
+/// auditor re-derives every reused step against the oracle exactly like a
+/// fresh one.
+pub fn run_with_stop_sets(base: SimConfig, scale: EvalScale, stop_sets: bool) -> AuditReport {
     let ctx = EvalContext::new(base, scale);
-    let cfg = EngineConfig::revtr2();
+    let mut cfg = EngineConfig::revtr2();
+    cfg.use_stop_sets = stop_sets;
     let auditor = Auditor::new(&ctx.sim, cfg.registry_only_ip2as);
     let prober = ctx.prober();
     let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
@@ -96,9 +106,14 @@ pub fn smoke() -> AuditReport {
 
 /// The smoke audit under an explicit master seed.
 pub fn smoke_seeded(seed: u64) -> AuditReport {
+    smoke_seeded_stop_sets(seed, false)
+}
+
+/// The smoke audit with an explicit seed and stop-set toggle.
+pub fn smoke_seeded_stop_sets(seed: u64, stop_sets: bool) -> AuditReport {
     let mut scale = EvalScale::smoke();
     scale.seed = seed;
-    run(SimConfig::tiny(), scale)
+    run_with_stop_sets(SimConfig::tiny(), scale, stop_sets)
 }
 
 /// The reproduction audit (paper-era topology, standard campaign).
@@ -109,9 +124,16 @@ pub fn standard() -> AuditReport {
 /// The reproduction audit under an explicit master seed — the ci.sh gate
 /// sweeps {1, 7, 42} so soundness isn't an artifact of one topology draw.
 pub fn standard_seeded(seed: u64) -> AuditReport {
+    standard_seeded_stop_sets(seed, false)
+}
+
+/// The reproduction audit with an explicit seed and stop-set toggle —
+/// ci.sh runs the stop-sets-on arm for {1, 7, 42} as the reuse-soundness
+/// gate (0 unsound hops with reused evidence in play).
+pub fn standard_seeded_stop_sets(seed: u64, stop_sets: bool) -> AuditReport {
     let mut scale = EvalScale::standard();
     scale.seed = seed;
-    run(SimConfig::era_2020(), scale)
+    run_with_stop_sets(SimConfig::era_2020(), scale, stop_sets)
 }
 
 #[cfg(test)]
@@ -132,5 +154,19 @@ mod tests {
         // the table renders one row per kind seen.
         assert!(report.summary.per_kind.contains_key("destination"));
         assert_eq!(report.table().len(), report.summary.per_kind.len());
+    }
+
+    #[test]
+    fn smoke_campaign_with_stop_sets_audits_clean() {
+        // Reused backward evidence must replay soundly: the adopted hops
+        // carry the originating probe's provenance, and the auditor holds
+        // them to the same oracle standard as fresh measurements.
+        let report = smoke_seeded_stop_sets(1, true);
+        assert!(
+            report.is_clean(),
+            "stop-sets-on audit gate failed:\n{}",
+            report.failures.join("\n")
+        );
+        assert!(report.summary.results > 10, "campaign too small");
     }
 }

@@ -6,7 +6,7 @@
 //! coverage/accuracy, cache effectiveness, and campaign fingerprints.
 //! `revtr-cli bench-compare old.json new.json` re-reads two such reports
 //! and exits non-zero when the new run regresses past tolerance — ci.sh
-//! wires it against the committed `BENCH_PR5.json` baseline.
+//! wires it against the committed `BENCH_PR7.json` baseline.
 //!
 //! Everything gated is **virtual**: probe counts, virtual milliseconds,
 //! coverage, accuracy. Wall-clock time is recorded for context but never
@@ -55,6 +55,13 @@ pub struct BenchReport {
     /// Peak in-flight measurements on the event loop (informational;
     /// absent in pre-PR6 baselines and parsed as 0 there).
     pub inflight_peak: u64,
+    /// Whether the campaign ran with the Doubletree stop sets enabled
+    /// (absent in pre-PR7 baselines and parsed as false there; reports
+    /// with mismatched values refuse to compare).
+    pub stop_sets: bool,
+    /// Stop-set effectiveness: sorted `(counter, count)` pairs
+    /// (informational; absent in pre-PR7 baselines and parsed empty).
+    pub stopset_stats: Vec<(String, u64)>,
     /// Campaign metrics fingerprint (hex, noted on mismatch, never gated).
     pub metrics_fingerprint: String,
     /// Campaign journal fingerprint (hex).
@@ -99,8 +106,8 @@ impl BenchComparison {
 /// Run the clean monitored campaign at `scale_name`/`seed` and produce a
 /// report. Wall-clock time wraps exactly the campaign (not process
 /// startup).
-pub fn run(scale_name: &str, seed: u64) -> BenchReport {
-    let cfg = MonitorConfig::clean(scale_name);
+pub fn run(scale_name: &str, seed: u64, stop_sets: bool) -> BenchReport {
+    let cfg = MonitorConfig::clean(scale_name).with_stop_sets(stop_sets);
     let started = Instant::now();
     let m = match scale_name {
         "standard" => monitor::standard_seeded(seed, &cfg),
@@ -136,6 +143,17 @@ pub fn run(scale_name: &str, seed: u64) -> BenchReport {
         cache_expired: m.cache.expired,
         route_computes: m.route_computes,
         inflight_peak: m.inflight_peak as u64,
+        stop_sets,
+        stopset_stats: vec![
+            ("backward_hits".into(), m.stopset.backward_hits),
+            ("backward_misses".into(), m.stopset.backward_misses),
+            ("direct_skips".into(), m.stopset.direct_skips),
+            ("forward_hits".into(), m.stopset.forward_hits),
+            ("forward_misses".into(), m.stopset.forward_misses),
+            ("spoof_skips".into(), m.stopset.spoof_skips),
+            ("vp_skips".into(), m.stopset.vp_skips),
+            ("winner_hits".into(), m.stopset.winner_hits),
+        ],
         metrics_fingerprint: format!("{:#018x}", m.metrics_fingerprint),
         journal_fingerprint: format!("{:#018x}", m.journal_fingerprint),
     }
@@ -174,6 +192,17 @@ impl BenchReport {
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"route_computes\": {},", self.route_computes);
         let _ = writeln!(s, "  \"inflight_peak\": {},", self.inflight_peak);
+        let _ = writeln!(s, "  \"stop_sets\": {},", self.stop_sets);
+        let _ = writeln!(s, "  \"stopset_stats\": {{");
+        for (i, (k, v)) in self.stopset_stats.iter().enumerate() {
+            let comma = if i + 1 < self.stopset_stats.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    \"{k}\": {v}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"fingerprints\": {{");
         let _ = writeln!(s, "    \"journal\": \"{}\",", self.journal_fingerprint);
         let _ = writeln!(s, "    \"metrics\": \"{}\"", self.metrics_fingerprint);
@@ -242,9 +271,38 @@ impl BenchReport {
             route_computes: int(&v, "route_computes")?,
             // Lenient: pre-PR6 baselines don't carry this key.
             inflight_peak: int(&v, "inflight_peak").unwrap_or(0),
+            // Lenient: pre-PR7 baselines don't carry the stop-set keys.
+            stop_sets: matches!(v.get("stop_sets"), Some(Value::Bool(true))),
+            stopset_stats: {
+                let mut pairs = Vec::new();
+                if let Some(ss) = v.get("stopset_stats").and_then(|s| s.as_object()) {
+                    for (k, sv) in ss {
+                        match sv {
+                            Value::U64(x) => pairs.push((k.clone(), *x)),
+                            Value::I64(x) if *x >= 0 => pairs.push((k.clone(), *x as u64)),
+                            other => {
+                                return Err(format!(
+                                    "stopset counter {k:?} not an integer: {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                }
+                pairs.sort();
+                pairs
+            },
             metrics_fingerprint: string(&fps, "metrics")?,
             journal_fingerprint: string(&fps, "journal")?,
         })
+    }
+
+    /// Total stop-set hits of any kind (0 for pre-PR7 reports).
+    pub fn stopset_hits(&self) -> u64 {
+        self.stopset_stats
+            .iter()
+            .filter(|(k, _)| k.ends_with("_hits") || k.ends_with("_skips"))
+            .map(|(_, v)| v)
+            .sum()
     }
 
     /// Total option-carrying probes (RR + spoofed RR + TS + spoofed TS).
@@ -298,9 +356,33 @@ pub fn compare(
         ));
         return c;
     }
+    if old.stop_sets != new.stop_sets {
+        c.regressions.push(format!(
+            "reports not comparable: baseline ran with stop_sets={}, new with stop_sets={} \
+             (probe economy differs by design; regenerate the matching baseline)",
+            old.stop_sets, new.stop_sets
+        ));
+        return c;
+    }
 
     let rel_gate = |c: &mut BenchComparison, what: &str, old_v: f64, new_v: f64| {
         if old_v <= 0.0 {
+            // A zero baseline admits no relative tolerance — but the old
+            // bare early-return silently exempted such metrics from the
+            // gate entirely, so a probe kind the baseline never sent
+            // (ts = 0 in every revtr-2.0 baseline) could grow without
+            // bound and still "pass". Gate absolute growth from zero
+            // against the same small-count floor the per-kind loop uses.
+            if new_v > KIND_FLOOR as f64 {
+                c.regressions.push(format!(
+                    "{what} appeared against a zero baseline (0 -> {new_v:.0}, floor {KIND_FLOOR})"
+                ));
+            } else if new_v > 0.0 {
+                c.notes.push(format!(
+                    "{what} appeared against a zero baseline (0 -> {new_v:.0}; below floor \
+                     {KIND_FLOOR}, not gated)"
+                ));
+            }
             return;
         }
         let rel = (new_v - old_v) / old_v;
@@ -347,6 +429,23 @@ pub fn compare(
             *old_v as f64,
             new_v as f64,
         );
+    }
+    // Kinds the baseline never recorded still go through the
+    // zero-baseline branch of the gate; without this a brand-new probe
+    // kind would be invisible to the sentinel. (Sub-floor *nonzero*
+    // baselines stay per-kind-exempt, same as the loop above — the
+    // aggregate totals gate them.)
+    for (kind, new_v) in &new.probes_by_kind {
+        let old_v = old
+            .probes_by_kind
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        if old_v > 0 {
+            continue;
+        }
+        rel_gate(&mut c, &format!("probes[{kind}]"), 0.0, *new_v as f64);
     }
 
     let quality_gate = |c: &mut BenchComparison, what: &str, old_v: f64, new_v: f64| {
@@ -407,6 +506,13 @@ pub fn compare(
             old.inflight_peak, new.inflight_peak
         ));
     }
+    if old.stop_sets {
+        c.notes.push(format!(
+            "stop-set hits {} -> {} (informational)",
+            old.stopset_hits(),
+            new.stopset_hits()
+        ));
+    }
     c
 }
 
@@ -441,6 +547,8 @@ mod tests {
             cache_expired: 5,
             route_computes: 400,
             inflight_peak: 20,
+            stop_sets: false,
+            stopset_stats: vec![],
             metrics_fingerprint: "0x00deadbeef001122".into(),
             journal_fingerprint: "0x0011223344556677".into(),
         }
@@ -480,6 +588,83 @@ mod tests {
         assert!(c.regressions.iter().any(|r| r.contains("probes[spoof_rr]")));
         // Tiny kinds (below the floor) are not individually gated.
         assert!(!c.regressions.iter().any(|r| r.contains("traceroutes]")));
+    }
+
+    #[test]
+    fn zero_baseline_growth_fails_the_gate() {
+        // The bug this guards: the rel gate used to bare-return on a zero
+        // baseline, so a kind the baseline never sent could grow without
+        // bound and still pass. Growth from zero past the small-count
+        // floor must now fail.
+        let old = sample();
+        let mut new = sample();
+        new.probes_by_kind.push(("udp_probe".into(), 500));
+        new.probes_by_kind.sort();
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(!c.pass(), "{}", c.render());
+        assert!(
+            c.regressions
+                .iter()
+                .any(|r| r.contains("probes[udp_probe]") && r.contains("zero baseline")),
+            "{}",
+            c.render()
+        );
+    }
+
+    #[test]
+    fn zero_baseline_small_appearance_passes_with_note() {
+        // Must-pass companion: a new kind below the floor is surfaced as
+        // a note, not a regression.
+        let old = sample();
+        let mut new = sample();
+        new.probes_by_kind.push(("udp_probe".into(), 5));
+        new.probes_by_kind.sort();
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(c.pass(), "{}", c.render());
+        assert!(
+            c.notes
+                .iter()
+                .any(|n| n.contains("probes[udp_probe]") && n.contains("zero baseline")),
+            "{}",
+            c.render()
+        );
+    }
+
+    #[test]
+    fn stop_set_mismatch_refuses_to_compare() {
+        let old = sample();
+        let mut new = sample();
+        new.stop_sets = true;
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(!c.pass());
+        assert!(c.regressions.iter().any(|r| r.contains("stop_sets")));
+    }
+
+    #[test]
+    fn stop_set_fields_round_trip_and_sum() {
+        let mut r = sample();
+        r.stop_sets = true;
+        r.stopset_stats = vec![
+            ("backward_hits".into(), 40),
+            ("backward_misses".into(), 100),
+            ("direct_skips".into(), 7),
+            ("forward_hits".into(), 12),
+            ("forward_misses".into(), 30),
+            ("winner_hits".into(), 9),
+        ];
+        let parsed = BenchReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(r.stopset_hits(), 40 + 7 + 12 + 9);
+        // Pre-PR7 baselines lack both keys entirely and parse leniently.
+        let legacy = sample().to_json().replace(
+            "  \"stop_sets\": false,\n  \"stopset_stats\": {\n  },\n",
+            "",
+        );
+        assert!(!legacy.contains("stop_sets"), "strip failed:\n{legacy}");
+        let parsed_legacy = BenchReport::from_json(&legacy).expect("legacy parse");
+        assert!(!parsed_legacy.stop_sets);
+        assert!(parsed_legacy.stopset_stats.is_empty());
+        assert_eq!(parsed_legacy.stopset_hits(), 0);
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst A.B.C.D|auto] [--src A.B.C.D|auto]
 //! revtr-cli reproduce [--scale smoke|standard] [--out DIR]
 //! revtr-cli robustness [--scale smoke|standard] [--out DIR]
-//! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]
+//! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR] [--stop-sets on|off]
 //! revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]
 //! revtr-cli monitor   [--scale ...] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]
-//! revtr-cli bench-report  [--scale ...] [--seed N] [--file PATH]
+//! revtr-cli bench-report  [--scale ...] [--seed N] [--file PATH] [--stop-sets on|off]
 //! revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]
+//! revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]
 //! revtr-cli engine-ab [--scale smoke|standard] [--seed N] [--workers N]
 //! revtr-cli concurrency-smoke [--inflight N] [--seed N]
 //! ```
@@ -23,7 +24,7 @@
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::cliargs::{self, Flags};
-use revtr_eval::{audit, bench_report, metrics, monitor, reproduce, robustness};
+use revtr_eval::{audit, bench_report, economy, metrics, monitor, reproduce, robustness};
 use revtr_netsim::{Addr, AsTier, Sim};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
@@ -37,11 +38,12 @@ fn usage() -> ExitCode {
          revtr-cli measure   [--era ...] [--seed N] [--engine 1|2] [--dst ADDR|auto] [--src ADDR|auto]\n  \
          revtr-cli reproduce [--scale smoke|standard] [--out DIR]\n  \
          revtr-cli robustness [--scale smoke|standard] [--out DIR]\n  \
-         revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR]\n  \
+         revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR] [--stop-sets on|off]\n  \
          revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]\n  \
          revtr-cli monitor   [--scale smoke|standard] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]\n  \
-         revtr-cli bench-report  [--scale smoke|standard] [--seed N] [--file PATH]\n  \
+         revtr-cli bench-report  [--scale smoke|standard] [--seed N] [--file PATH] [--stop-sets on|off]\n  \
          revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]\n  \
+         revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]\n  \
          revtr-cli engine-ab [--scale smoke|standard] [--seed N] [--workers N]\n  \
          revtr-cli concurrency-smoke [--inflight N] [--seed N]"
     );
@@ -227,15 +229,24 @@ fn cmd_audit(flags: &Flags) -> ExitCode {
         Ok(s) => s,
         Err(e) => return flag_err(&e),
     };
+    let stop_sets = match flags.stop_sets() {
+        Ok(b) => b,
+        Err(e) => return flag_err(&e),
+    };
+    let default_seed = match flags.scale() {
+        Ok(s) => s.seed,
+        Err(e) => return flag_err(&e),
+    };
     let report = match flags.scale_name() {
-        "smoke" => seed.map(audit::smoke_seeded).unwrap_or_else(audit::smoke),
-        "standard" => seed
-            .map(audit::standard_seeded)
-            .unwrap_or_else(audit::standard),
+        "smoke" => audit::smoke_seeded_stop_sets(seed.unwrap_or(default_seed), stop_sets),
+        "standard" => audit::standard_seeded_stop_sets(seed.unwrap_or(default_seed), stop_sets),
         other => return flag_err(&format!("unknown scale {other:?}")),
     };
     if let Some(s) = seed {
         println!("(master seed {s})");
+    }
+    if stop_sets {
+        println!("(stop sets on: reused-evidence soundness arm)");
     }
     println!("{}", report.table().render());
     println!(
@@ -356,7 +367,11 @@ fn cmd_bench_report(flags: &Flags) -> ExitCode {
         Ok(_) => flags.scale_name(),
         Err(e) => return flag_err(&e),
     };
-    let report = bench_report::run(scale_name, seed.unwrap_or(1));
+    let stop_sets = match flags.stop_sets() {
+        Ok(b) => b,
+        Err(e) => return flag_err(&e),
+    };
+    let report = bench_report::run(scale_name, seed.unwrap_or(1), stop_sets);
     let json = report.to_json();
     match flags.get("file") {
         Some(path) => {
@@ -395,6 +410,40 @@ fn cmd_bench_compare(old_path: &str, new_path: &str, flags: &Flags) -> ExitCode 
     let cmp = bench_report::compare(&old, &new, tol, tol_quality);
     println!("{}", cmp.render());
     if cmp.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_economy(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let scale_name = match flags.scale() {
+        Ok(_) => flags.scale_name(),
+        Err(e) => return flag_err(&e),
+    };
+    let min_cut = match flags
+        .get("min-cut")
+        .map(str::parse::<f64>)
+        .unwrap_or(Ok(economy::DEFAULT_MIN_CUT))
+    {
+        Ok(f) if (0.0..1.0).contains(&f) => f,
+        _ => return flag_err("--min-cut must be a fraction in [0, 1)"),
+    };
+    let tol_quality = match flags
+        .get("tol-quality")
+        .map(str::parse::<f64>)
+        .unwrap_or(Ok(economy::DEFAULT_TOL_QUALITY))
+    {
+        Ok(f) if f >= 0.0 => f,
+        _ => return flag_err("--tol-quality must be a non-negative number"),
+    };
+    let report = economy::run(scale_name, seed.unwrap_or(1), min_cut, tol_quality);
+    println!("{}", report.render());
+    if report.pass() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -485,11 +534,12 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         "measure" => &["era", "seed", "engine", "dst", "src"],
         "reproduce" => &["scale", "out"],
         "robustness" => &["scale", "out"],
-        "audit" => &["scale", "seed", "out"],
+        "audit" => &["scale", "seed", "out", "stop-sets"],
         "metrics" => &["scale", "seed", "out"],
         "monitor" => &["scale", "seed", "out", "loss", "budget", "deadline-ms"],
-        "bench-report" => &["scale", "seed", "file"],
+        "bench-report" => &["scale", "seed", "file", "stop-sets"],
         "bench-compare" => &["tol", "tol-quality"],
+        "economy" => &["scale", "seed", "min-cut", "tol-quality"],
         "engine-ab" => &["scale", "seed", "workers"],
         "concurrency-smoke" => &["inflight", "seed"],
         _ => return None,
@@ -529,6 +579,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&flags),
         "monitor" => cmd_monitor(&flags),
         "bench-report" => cmd_bench_report(&flags),
+        "economy" => cmd_economy(&flags),
         "engine-ab" => cmd_engine_ab(&flags),
         "concurrency-smoke" => cmd_concurrency_smoke(&flags),
         "bench-compare" => match positionals {

@@ -18,6 +18,7 @@ pub mod cliargs;
 pub mod concurrency;
 pub mod context;
 pub mod dbr_violations;
+pub mod economy;
 pub mod ip2as_ablation;
 pub mod metrics;
 pub mod monitor;

@@ -213,6 +213,10 @@ pub struct MonitorConfig {
     pub budget: u32,
     /// Stuck-request watchdog deadline, virtual ms.
     pub watchdog_deadline_ms: f64,
+    /// Enable the campaign-wide Doubletree stop sets
+    /// (`EngineConfig::use_stop_sets`). Off in the clean baseline; the
+    /// economy gate A/Bs this knob.
+    pub use_stop_sets: bool,
     /// The SLO policy to judge against.
     pub policy: SloPolicy,
 }
@@ -225,8 +229,15 @@ impl MonitorConfig {
             loss: 0.0,
             budget: 1,
             watchdog_deadline_ms: clean_deadline_ms(scale_name),
+            use_stop_sets: false,
             policy: default_policy(scale_name),
         }
+    }
+
+    /// The same configuration with the stop-set knob flipped.
+    pub fn with_stop_sets(mut self, on: bool) -> MonitorConfig {
+        self.use_stop_sets = on;
+        self
     }
 
     /// Fault injection dialled in. With `loss > 0` the watchdog tightens
@@ -244,6 +255,7 @@ impl MonitorConfig {
             } else {
                 clean_deadline_ms(scale_name)
             },
+            use_stop_sets: false,
             policy: default_policy(scale_name),
         }
     }
@@ -283,6 +295,8 @@ pub struct MonitorReport {
     pub inflight_peak: usize,
     /// Measurement-cache stats at end of run.
     pub cache: revtr_probing::CacheStats,
+    /// Stop-set effectiveness counters (all-zero with the knob off).
+    pub stopset: revtr_probing::StopSetSnapshot,
     /// Simulator route computations.
     pub route_computes: u64,
 }
@@ -308,7 +322,9 @@ pub fn run(base: SimConfig, scale: EvalScale, cfg: &MonitorConfig) -> MonitorRep
         .with_retry_policy(RetryPolicy::uniform(cfg.budget))
         .with_telemetry(telemetry.clone());
     let ingress = Arc::new(ctx.build_ingress(&prober, Heuristics::FULL));
-    let system = ctx.build_system(prober, EngineConfig::revtr2(), ingress);
+    let mut ecfg = EngineConfig::revtr2();
+    ecfg.use_stop_sets = cfg.use_stop_sets;
+    let system = ctx.build_system(prober, ecfg, ingress);
     let workload = ctx.workload();
     let oracle = ctx.sim.oracle();
 
@@ -369,6 +385,16 @@ pub fn run(base: SimConfig, scale: EvalScale, cfg: &MonitorConfig) -> MonitorRep
         ("requests".into(), attempted as f64),
         ("watchdog.flagged".into(), watchdog.len() as f64),
     ];
+    let ss = system.stopset().stats();
+    derived.extend([
+        ("stopset.backward_hits".into(), ss.backward_hits as f64),
+        ("stopset.backward_misses".into(), ss.backward_misses as f64),
+        ("stopset.direct_skips".into(), ss.direct_skips as f64),
+        ("stopset.forward_hits".into(), ss.forward_hits as f64),
+        ("stopset.spoof_skips".into(), ss.spoof_skips as f64),
+        ("stopset.vp_skips".into(), ss.vp_skips as f64),
+        ("stopset.winner_hits".into(), ss.winner_hits as f64),
+    ]);
     derived.sort_by(|a, b| a.0.cmp(&b.0));
 
     let slo = cfg.policy.evaluate(&SloInput {
@@ -395,6 +421,7 @@ pub fn run(base: SimConfig, scale: EvalScale, cfg: &MonitorConfig) -> MonitorRep
         probes,
         inflight_peak: outcome.inflight_peak,
         cache: system.prober().cache().stats(),
+        stopset: ss,
         route_computes: ctx.sim.route_computes(),
     }
 }

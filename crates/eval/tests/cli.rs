@@ -14,7 +14,7 @@ fn exit_code(args: &[&str]) -> i32 {
     run(args).status.code().expect("exit code")
 }
 
-const COMMANDS: [&str; 9] = [
+const COMMANDS: [&str; 12] = [
     "topology",
     "measure",
     "reproduce",
@@ -24,6 +24,9 @@ const COMMANDS: [&str; 9] = [
     "monitor",
     "bench-report",
     "bench-compare",
+    "economy",
+    "engine-ab",
+    "concurrency-smoke",
 ];
 
 #[test]
@@ -46,6 +49,7 @@ fn every_subcommand_rejects_a_flag_missing_its_value() {
         let flag = match cmd {
             "topology" | "measure" => "--era",
             "bench-compare" => "--tol",
+            "concurrency-smoke" => "--inflight",
             _ => "--scale",
         };
         assert_eq!(exit_code(&[cmd, flag]), 2, "{cmd} {flag} without value");
@@ -60,6 +64,10 @@ fn bad_flag_values_exit_two() {
     assert_eq!(exit_code(&["audit", "--seed", "-1"]), 2);
     assert_eq!(exit_code(&["metrics", "--scale", "huge"]), 2);
     assert_eq!(exit_code(&["measure", "--engine", "3"]), 2);
+    assert_eq!(exit_code(&["audit", "--stop-sets", "maybe"]), 2);
+    assert_eq!(exit_code(&["bench-report", "--stop-sets", "2"]), 2);
+    assert_eq!(exit_code(&["economy", "--min-cut", "1.5"]), 2);
+    assert_eq!(exit_code(&["economy", "--tol-quality", "-0.1"]), 2);
 }
 
 #[test]

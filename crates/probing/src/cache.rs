@@ -113,7 +113,11 @@ impl MeasurementCache {
     }
 
     fn fresh(&self, at: f64, now: f64) -> bool {
-        now - at <= self.ttl_hours
+        // Strictly less: an entry whose age equals the TTL has expired.
+        // [`CacheStats::expired`] documents post-TTL lookups as misses, and
+        // the boundary lookup is a post-TTL lookup — `<=` silently served
+        // one-day-old measurements on the exact-24h boundary.
+        now - at < self.ttl_hours
     }
 
     /// Classify a looked-up entry, bumping the stats counters.
@@ -217,6 +221,32 @@ mod tests {
         assert_eq!(s.inserts, 1);
         assert_eq!(s.expired, 1, "the post-TTL miss found a stale entry");
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_boundary_entry_is_expired_not_fresh() {
+        // Regression pin for the `<=` boundary bug: an entry aged exactly
+        // TTL hours must classify as an expired miss, matching the
+        // `CacheStats::expired` contract ("post-TTL lookups are misses").
+        let sim = Sim::build(SimConfig::tiny(), 3);
+        let cache = MeasurementCache::with_ttl(1.0);
+        let a = Addr::new(1, 1, 1, 1);
+        let b = Addr::new(2, 2, 2, 2);
+        cache.put_traceroute(&sim, a, b, None);
+        sim.advance_hours(1.0);
+        assert!(
+            cache.get_traceroute(&sim, a, b).is_none(),
+            "entry exactly at TTL must not be served"
+        );
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.expired, 1, "boundary miss is classified as expired");
+        // Just inside the TTL stays fresh.
+        let c = Addr::new(3, 3, 3, 3);
+        cache.put_traceroute(&sim, a, c, None);
+        sim.advance_hours(0.5);
+        assert_eq!(cache.get_traceroute(&sim, a, c), Some(None));
     }
 
     #[test]

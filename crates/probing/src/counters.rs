@@ -152,6 +152,17 @@ impl Snapshot {
         self.option_probes() + self.ping + self.traceroute_pkts + self.atlas_rr
     }
 
+    /// Every measurement *probe* the campaign issued: option-carrying
+    /// probes plus atlas RR pings, plain pings, and whole traceroutes
+    /// (probe count, not per-TTL packets). This is the numerator of the
+    /// probes-per-revtr economy metric — atlas probing is part of a
+    /// campaign's probe budget (in the deployed system it dominates it),
+    /// so an economy layer that deduplicates atlas refresh must see its
+    /// savings counted here.
+    pub fn measurement_probes(&self) -> u64 {
+        self.option_probes() + self.atlas_rr + self.ping + self.traceroutes
+    }
+
     /// The probe mix as sorted `(kind, count)` pairs — the Table-4 style
     /// breakdown the perf sentinel records in `BENCH_*.json`. Only real
     /// packet kinds appear; the retry/loss meta-counters are reported

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod clock;
 pub mod counters;
 pub mod prober;
+pub mod stopset;
 
 pub use cache::{CacheStats, CachedRr, MeasurementCache, RrKey, DEFAULT_TTL_HOURS};
 pub use clock::{Clock, SPOOF_BATCH_TIMEOUT_MS};
@@ -39,3 +40,4 @@ pub use prober::{
     TRACEROUTE_TIMEOUT_MS,
 };
 pub use revtr_telemetry::{RequestScope, SpanToken, Telemetry, TelemetryConfig, WatchdogFlag};
+pub use stopset::{BackwardEntry, Contribution, Note, StopSet, StopSetSnapshot, StoredRr};

@@ -1,0 +1,708 @@
+//! Campaign-wide Doubletree-style stop sets: the cross-request probe
+//! economy layer (ROADMAP item 3).
+//!
+//! Doubletree (Donnet et al., "Efficient Route Tracing from a Single
+//! Source") observes that redundant probing collapses when monitors share
+//! two sets: a *backward stop set* of (monitor, interface) pairs whose
+//! path tail is already known, and a *forward discovery set* of
+//! interfaces already explored toward destinations. This module is the
+//! revtr analogue:
+//!
+//! * the **backward stop set** maps `(revtr source, frontier router)` to
+//!   reverse-hop evidence some earlier request already measured at that
+//!   router — the full RR observation (hops + send-time
+//!   [`RrProvenance`]), so reuse replays against the audit oracle exactly
+//!   like a measurement-cache hit. Alongside the evidence it keeps four
+//!   cheaper hints: the spoofed-ladder *winner VP* per ingress plan,
+//!   per-`(plan, VP)` *probe futility*, per-router *ladder futility*
+//!   (all three source-free — slot survival on the VP→router leg does
+//!   not depend on the spoofed-for source), and a *direct-RR futility*
+//!   marker per `(source, router)`. Together they let a later request
+//!   open the ladder at its proven winner, prune predictably useless
+//!   VPs, skip exhausted ladders, and skip the predictably unanswered
+//!   direct probe;
+//! * the **forward discovery set** maps `(atlas source, hop)` to the RR
+//!   observation the atlas builder already made for that hop, so
+//!   rebuilding or refreshing atlases re-measures each interface once per
+//!   campaign instead of once per trace containing it.
+//!
+//! # Determinism contract
+//!
+//! Consults read an immutable *published* view. Campaign tasks never
+//! write the published view directly: they buffer [`Contribution`]s
+//! stamped with `(vtime, request id, seq)`, and the engine merges the
+//! buffer at deterministic barriers ([`StopSet::merge_pending`]) by
+//! sorting on that stamp and applying first-wins per key. The stamp is a
+//! pure function of the task schedule (virtual time, not wall time), so
+//! the published view after every barrier — and therefore every consult
+//! result — is bitwise identical whatever the worker count or OS
+//! interleaving. The metamorphic suite pins this across dispatch workers
+//! {1, 4, 16}.
+//!
+//! Atlas builds run outside the campaign loop (registration happens
+//! before requests, refresh on a serial request path), so the forward set
+//! is applied immediately rather than buffered.
+//!
+//! # Accounting contract
+//!
+//! Stop-set consults never touch the [`MeasurementCache`] and never bump
+//! its [`CacheStats`]: economy wins are attributed to the dedicated
+//! hit/miss counters here ([`StopSetStats`]), reconciled against cache
+//! stats in `eval::throughput`'s counter-reconciliation test.
+//!
+//! [`MeasurementCache`]: crate::cache::MeasurementCache
+//! [`CacheStats`]: crate::cache::CacheStats
+
+use crate::prober::RrProvenance;
+use revtr_netsim::{Addr, RrReply};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// One reusable RR observation: the reverse hops it revealed plus the
+/// send-time provenance the audit layer replays it under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredRr {
+    /// Reverse hops the observation revealed (post-destination stamps).
+    pub hops: Vec<Addr>,
+    /// Send-time provenance of the original probe (original nonce and
+    /// churn epochs — reuse must replay the send, not the reuse instant).
+    pub provenance: RrProvenance,
+}
+
+/// Backward stop-set evidence at one `(source, router)` key. Direct and
+/// spoofed observations are kept in separate slots so a consult can
+/// mirror the engine's own preference order (direct RR first, spoofed
+/// ladder second) and stay result-compatible with a from-scratch rr_step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackwardEntry {
+    /// Evidence from a non-spoofed RR ping (source itself was the sender).
+    pub direct: Option<StoredRr>,
+    /// Evidence from a spoofed RR ping (a VP spoofed as the source).
+    pub spoofed: Option<StoredRr>,
+}
+
+impl BackwardEntry {
+    /// The preferred reusable observation: direct evidence first (it is
+    /// what a fresh rr_step would find first), spoofed otherwise. Returns
+    /// the observation and whether it came from the spoofed slot.
+    pub fn best(&self) -> Option<(&StoredRr, bool)> {
+        self.direct
+            .as_ref()
+            .map(|s| (s, false))
+            .or_else(|| self.spoofed.as_ref().map(|s| (s, true)))
+    }
+}
+
+/// What one task learned, to be folded into the published view at the
+/// next merge barrier.
+#[derive(Clone, Debug)]
+pub enum Note {
+    /// Reverse-hop evidence measured at `(src, cur)`; `spoofed` selects
+    /// the [`BackwardEntry`] slot.
+    Backward {
+        /// The revtr source the evidence is valid for.
+        src: Addr,
+        /// The frontier router the observation was made at.
+        cur: Addr,
+        /// True if a VP spoofed as `src` (spoofed slot), false for the
+        /// source's own direct RR ping.
+        spoofed: bool,
+        /// The observation.
+        stored: StoredRr,
+    },
+    /// The VP that won the spoofed ladder on an ingress plan — later
+    /// requests at any router on the same plan try it first. Keyed on
+    /// the plan alone, not `(src, plan)` or the exact router: whether a
+    /// VP's record-route slots survive into a plan's network is a
+    /// property of the VP→plan leg, so a winner found while serving one
+    /// source at one sibling router is the best opening bid everywhere
+    /// on the plan (and it is only a hint — the full ladder stays
+    /// staged as the fallback, so a wrong guess costs one probe, never
+    /// coverage).
+    Winner {
+        /// Ingress-plan key (see `core::system`'s plan keying: equal
+        /// keys imply identical VP queues).
+        plan: u64,
+        /// The winning vantage point.
+        vp: Addr,
+    },
+    /// One VP's spoofed probe to a router on this plan came back without
+    /// a usable record-route observation (unanswered, failed the ingress
+    /// check, or its slots were spent before the router) — later ladders
+    /// on the same plan *deprioritize* that VP to the back of its queue.
+    /// Keyed on `(plan, vp)`: routers sharing a plan share the exact VP
+    /// queues, so a VP that could not reach one sibling usably is
+    /// walking dead weight at the others. Deprioritizing (never
+    /// dropping) is what keeps this coverage-safe: a winning ladder
+    /// skips the known-dead prefix, while an exhausting ladder still
+    /// reaches every VP — a "futile" sibling VP is occasionally the
+    /// only one in range at a particular router, and pruning it
+    /// measurably costs coverage. A VP whose reply was usable but
+    /// merely not *novel for that request's path* must NOT be marked
+    /// futile, and neither must transient (fault-attributed) losses —
+    /// those are retried, not proven futile.
+    VpFutile {
+        /// Ingress-plan key the VP proved futile on.
+        plan: u64,
+        /// The vantage point whose probe proved futile there.
+        vp: Addr,
+    },
+    /// Direct (non-spoofed) RR from `src` revealed nothing at this exact
+    /// router — later requests whose path reaches the same router skip
+    /// the direct probe. Futility is keyed per router, not per ingress
+    /// plan: a sibling router on the same plan may well be within direct
+    /// RR range even when this one is not, and plan-level generalization
+    /// measurably costs coverage.
+    DirectFutile {
+        /// The revtr source.
+        src: Addr,
+        /// The exact frontier router the direct probe failed at.
+        cur: Addr,
+    },
+    /// The full spoofed ladder at this exact router was exhausted
+    /// without a single *usable* reply (no VP's record-route slots
+    /// survived past the router, or it never answered) — later requests
+    /// reaching the same router skip the ladder and fall through to the
+    /// next technique. Keyed on the router alone: slot survival on the
+    /// VP→router leg and the router's RR responsiveness do not depend
+    /// on which source the probe was spoofed for. A ladder that got
+    /// usable replies which merely revealed nothing *novel for that
+    /// request's path* must NOT be marked futile — the same replies can
+    /// be evidence for a different request.
+    SpoofFutile {
+        /// The exact frontier router the ladder was exhausted at.
+        cur: Addr,
+    },
+}
+
+/// A buffered stop-set update, stamped for deterministic merging.
+#[derive(Clone, Debug)]
+pub struct Contribution {
+    /// Virtual time of the contributing task when it learned the fact.
+    pub vtime: f64,
+    /// Contributing request id (ties on vtime).
+    pub req: u64,
+    /// Per-request sequence number (ties on request).
+    pub seq: u64,
+    /// The fact itself.
+    pub note: Note,
+}
+
+/// Point-in-time stop-set effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StopSetSnapshot {
+    /// Backward consults answered with reusable evidence.
+    pub backward_hits: u64,
+    /// Backward consults with nothing reusable.
+    pub backward_misses: u64,
+    /// Forward consults answered from the discovery set.
+    pub forward_hits: u64,
+    /// Forward consults that had to probe.
+    pub forward_misses: u64,
+    /// Direct RR probes skipped on a futility hint.
+    pub direct_skips: u64,
+    /// Whole spoofed ladders skipped on a futility hint.
+    pub spoof_skips: u64,
+    /// Individual VPs deprioritized in ladder queues on a futility hint.
+    pub vp_skips: u64,
+    /// Ladders started at a remembered winner VP.
+    pub winner_hits: u64,
+}
+
+impl StopSetSnapshot {
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn since(&self, earlier: &StopSetSnapshot) -> StopSetSnapshot {
+        StopSetSnapshot {
+            backward_hits: self.backward_hits - earlier.backward_hits,
+            backward_misses: self.backward_misses - earlier.backward_misses,
+            forward_hits: self.forward_hits - earlier.forward_hits,
+            forward_misses: self.forward_misses - earlier.forward_misses,
+            direct_skips: self.direct_skips - earlier.direct_skips,
+            spoof_skips: self.spoof_skips - earlier.spoof_skips,
+            vp_skips: self.vp_skips - earlier.vp_skips,
+            winner_hits: self.winner_hits - earlier.winner_hits,
+        }
+    }
+
+    /// Total consults of the backward set.
+    pub fn backward_lookups(&self) -> u64 {
+        self.backward_hits + self.backward_misses
+    }
+
+    /// Total consults of the forward discovery set.
+    pub fn forward_lookups(&self) -> u64 {
+        self.forward_hits + self.forward_misses
+    }
+
+    /// Hits of any kind (the "economy wins" the throughput report sums).
+    pub fn total_hits(&self) -> u64 {
+        self.backward_hits
+            + self.forward_hits
+            + self.direct_skips
+            + self.spoof_skips
+            + self.vp_skips
+            + self.winner_hits
+    }
+}
+
+#[derive(Debug, Default)]
+struct Published {
+    backward: HashMap<(Addr, Addr), BackwardEntry>,
+    winners: HashMap<u64, Addr>,
+    direct_futile: HashSet<(Addr, Addr)>,
+    spoof_futile: HashSet<Addr>,
+    vp_futile: HashMap<u64, HashSet<Addr>>,
+    forward: HashMap<(Addr, Addr), Option<RrReply>>,
+}
+
+/// The campaign-wide stop-set layer. One instance per
+/// `core::system::RevtrSystem`; cheap to share via `Arc`.
+#[derive(Debug, Default)]
+pub struct StopSet {
+    published: RwLock<Published>,
+    pending: Mutex<Vec<Contribution>>,
+    backward_hits: AtomicU64,
+    backward_misses: AtomicU64,
+    forward_hits: AtomicU64,
+    forward_misses: AtomicU64,
+    direct_skips: AtomicU64,
+    spoof_skips: AtomicU64,
+    vp_skips: AtomicU64,
+    winner_hits: AtomicU64,
+}
+
+impl StopSet {
+    /// Fresh, empty stop sets.
+    pub fn new() -> StopSet {
+        StopSet::default()
+    }
+
+    // ---- consults (published view only) -----------------------------------
+
+    /// Backward consult: reusable evidence at `(src, cur)`, preferring the
+    /// direct slot. Counts a hit or miss.
+    pub fn backward(&self, src: Addr, cur: Addr) -> Option<(StoredRr, bool)> {
+        let g = self.published.read().expect("stopset lock poisoned");
+        match g.backward.get(&(src, cur)).and_then(|e| e.best()) {
+            Some((s, spoofed)) => {
+                self.backward_hits.fetch_add(1, Ordering::Relaxed);
+                Some((s.clone(), spoofed))
+            }
+            None => {
+                self.backward_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The remembered ladder-winner VP for an ingress plan, if any.
+    /// Counts a winner hit when present (the consult is free either way —
+    /// this is a hint, not a lookup that replaces a probe by itself).
+    pub fn winner(&self, plan: u64) -> Option<Addr> {
+        let g = self.published.read().expect("stopset lock poisoned");
+        let w = g.winners.get(&plan).copied();
+        if w.is_some() {
+            self.winner_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        w
+    }
+
+    /// Whether direct RR from `src` is known futile at this exact router.
+    /// Counts a skip when true.
+    pub fn direct_futile(&self, src: Addr, cur: Addr) -> bool {
+        let g = self.published.read().expect("stopset lock poisoned");
+        let f = g.direct_futile.contains(&(src, cur));
+        if f {
+            self.direct_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// Whether the spoofed ladder at `cur` is known exhausted without a
+    /// usable reply (for any source). Counts a skip when true.
+    pub fn spoof_futile(&self, cur: Addr) -> bool {
+        let g = self.published.read().expect("stopset lock poisoned");
+        let f = g.spoof_futile.contains(&cur);
+        if f {
+            self.spoof_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// The VPs known futile on an ingress plan (empty set when none).
+    /// Does not count anything by itself: a futile VP only matters when
+    /// a ladder actually deprioritizes it, which the caller reports via
+    /// [`StopSet::note_vp_skips`].
+    pub fn futile_vps(&self, plan: u64) -> HashSet<Addr> {
+        let g = self.published.read().expect("stopset lock poisoned");
+        g.vp_futile.get(&plan).cloned().unwrap_or_default()
+    }
+
+    /// Record `n` VPs actually deprioritized in a ladder queue on
+    /// futility hints (called by the step driver after reordering its
+    /// queues).
+    pub fn note_vp_skips(&self, n: u64) {
+        if n > 0 {
+            self.vp_skips.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Forward-discovery consult: the RR observation already made for
+    /// `(source, hop)`, if any (`Some(None)` = known unanswered). Counts a
+    /// hit or miss.
+    pub fn forward(&self, source: Addr, hop: Addr) -> Option<Option<RrReply>> {
+        let g = self.published.read().expect("stopset lock poisoned");
+        match g.forward.get(&(source, hop)) {
+            Some(r) => {
+                self.forward_hits.fetch_add(1, Ordering::Relaxed);
+                Some(r.clone())
+            }
+            None => {
+                self.forward_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    // ---- updates ----------------------------------------------------------
+
+    /// Buffer a task contribution; it becomes visible at the next
+    /// [`StopSet::merge_pending`] barrier.
+    pub fn contribute(&self, c: Contribution) {
+        self.pending.lock().expect("stopset lock poisoned").push(c);
+    }
+
+    /// Merge every buffered contribution into the published view, ordered
+    /// by `(vtime, request id, seq)` with first-wins per key. Called by
+    /// the engine at wave barriers (and after every serial step), never
+    /// concurrently with task execution.
+    pub fn merge_pending(&self) {
+        let mut pending = {
+            let mut g = self.pending.lock().expect("stopset lock poisoned");
+            std::mem::take(&mut *g)
+        };
+        if pending.is_empty() {
+            return;
+        }
+        pending.sort_by(|a, b| {
+            a.vtime
+                .total_cmp(&b.vtime)
+                .then(a.req.cmp(&b.req))
+                .then(a.seq.cmp(&b.seq))
+        });
+        let mut g = self.published.write().expect("stopset lock poisoned");
+        for c in pending {
+            match c.note {
+                Note::Backward {
+                    src,
+                    cur,
+                    spoofed,
+                    stored,
+                } => {
+                    let e = g.backward.entry((src, cur)).or_default();
+                    let slot = if spoofed {
+                        &mut e.spoofed
+                    } else {
+                        &mut e.direct
+                    };
+                    if slot.is_none() {
+                        *slot = Some(stored);
+                    }
+                }
+                Note::Winner { plan, vp } => {
+                    g.winners.entry(plan).or_insert(vp);
+                }
+                Note::DirectFutile { src, cur } => {
+                    g.direct_futile.insert((src, cur));
+                }
+                Note::SpoofFutile { cur } => {
+                    g.spoof_futile.insert(cur);
+                }
+                Note::VpFutile { plan, vp } => {
+                    g.vp_futile.entry(plan).or_default().insert(vp);
+                }
+            }
+        }
+    }
+
+    /// Record a forward-discovery observation immediately (atlas builds
+    /// run outside the campaign loop, so no buffering is needed).
+    /// First-wins: an existing observation is kept.
+    pub fn forward_insert(&self, source: Addr, hop: Addr, reply: Option<RrReply>) {
+        let mut g = self.published.write().expect("stopset lock poisoned");
+        g.forward.entry((source, hop)).or_insert(reply);
+    }
+
+    /// Drop every forward-discovery observation for `source` (atlas
+    /// refresh: a forced rebuild must re-measure, not replay staleness).
+    pub fn forward_clear_source(&self, source: Addr) {
+        let mut g = self.published.write().expect("stopset lock poisoned");
+        g.forward.retain(|&(s, _), _| s != source);
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    /// Effectiveness counters so far.
+    pub fn stats(&self) -> StopSetSnapshot {
+        StopSetSnapshot {
+            backward_hits: self.backward_hits.load(Ordering::Relaxed),
+            backward_misses: self.backward_misses.load(Ordering::Relaxed),
+            forward_hits: self.forward_hits.load(Ordering::Relaxed),
+            forward_misses: self.forward_misses.load(Ordering::Relaxed),
+            direct_skips: self.direct_skips.load(Ordering::Relaxed),
+            spoof_skips: self.spoof_skips.load(Ordering::Relaxed),
+            vp_skips: self.vp_skips.load(Ordering::Relaxed),
+            winner_hits: self.winner_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Published backward entries (for reports/tests).
+    pub fn backward_len(&self) -> usize {
+        self.published
+            .read()
+            .expect("stopset lock poisoned")
+            .backward
+            .len()
+    }
+
+    /// Published forward-discovery entries (for reports/tests).
+    pub fn forward_len(&self) -> usize {
+        self.published
+            .read()
+            .expect("stopset lock poisoned")
+            .forward
+            .len()
+    }
+
+    /// Buffered, not-yet-merged contributions (0 outside a wave).
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().expect("stopset lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov(sender: Addr, claimed: Addr, dst: Addr, nonce: u64) -> RrProvenance {
+        RrProvenance {
+            sender,
+            claimed,
+            dst,
+            nonce,
+            fwd_epoch: None,
+            rep_epoch: None,
+            from_cache: false,
+        }
+    }
+
+    fn backward_note(src: Addr, cur: Addr, spoofed: bool, hop: Addr, nonce: u64) -> Note {
+        Note::Backward {
+            src,
+            cur,
+            spoofed,
+            stored: StoredRr {
+                hops: vec![hop],
+                provenance: prov(src, src, cur, nonce),
+            },
+        }
+    }
+
+    #[test]
+    fn consults_are_invisible_until_merge() {
+        let s = StopSet::new();
+        let (src, cur, hop) = (Addr(1), Addr(2), Addr(3));
+        s.contribute(Contribution {
+            vtime: 10.0,
+            req: 0,
+            seq: 0,
+            note: backward_note(src, cur, false, hop, 7),
+        });
+        assert!(s.backward(src, cur).is_none(), "pending must be invisible");
+        assert_eq!(s.pending_len(), 1);
+        s.merge_pending();
+        assert_eq!(s.pending_len(), 0);
+        let (stored, spoofed) = s.backward(src, cur).expect("merged entry visible");
+        assert_eq!(stored.hops, vec![hop]);
+        assert!(!spoofed);
+        let st = s.stats();
+        assert_eq!(st.backward_hits, 1);
+        assert_eq!(st.backward_misses, 1);
+    }
+
+    #[test]
+    fn merge_order_is_stamp_order_not_insertion_order() {
+        // Two tasks contribute conflicting evidence for the same key; the
+        // lower (vtime, req, seq) stamp must win regardless of the order
+        // the contributions were buffered in (i.e. of OS scheduling).
+        let (src, cur) = (Addr(1), Addr(2));
+        let early = Contribution {
+            vtime: 5.0,
+            req: 9,
+            seq: 3,
+            note: backward_note(src, cur, false, Addr(100), 1),
+        };
+        let late = Contribution {
+            vtime: 5.0,
+            req: 10,
+            seq: 0,
+            note: backward_note(src, cur, false, Addr(200), 2),
+        };
+        for order in [[&early, &late], [&late, &early]] {
+            let s = StopSet::new();
+            for c in order {
+                s.contribute((*c).clone());
+            }
+            s.merge_pending();
+            let (stored, _) = s.backward(src, cur).expect("entry");
+            assert_eq!(
+                stored.hops,
+                vec![Addr(100)],
+                "first-by-stamp must win in every insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_and_spoofed_slots_are_independent_and_direct_preferred() {
+        let s = StopSet::new();
+        let (src, cur) = (Addr(1), Addr(2));
+        s.contribute(Contribution {
+            vtime: 1.0,
+            req: 0,
+            seq: 0,
+            note: backward_note(src, cur, true, Addr(50), 1),
+        });
+        s.merge_pending();
+        let (_, spoofed) = s.backward(src, cur).expect("spoofed slot");
+        assert!(spoofed);
+        // A later direct observation fills the empty direct slot and is
+        // then preferred, without evicting the spoofed one.
+        s.contribute(Contribution {
+            vtime: 2.0,
+            req: 1,
+            seq: 0,
+            note: backward_note(src, cur, false, Addr(60), 2),
+        });
+        s.merge_pending();
+        let (stored, spoofed) = s.backward(src, cur).expect("direct slot");
+        assert!(!spoofed, "direct evidence preferred once present");
+        assert_eq!(stored.hops, vec![Addr(60)]);
+    }
+
+    #[test]
+    fn winner_and_futility_hints() {
+        let s = StopSet::new();
+        let src = Addr(1);
+        let cur = Addr(40);
+        assert!(s.winner(4).is_none());
+        assert!(!s.direct_futile(src, cur));
+        assert!(!s.spoof_futile(cur));
+        s.contribute(Contribution {
+            vtime: 1.0,
+            req: 0,
+            seq: 0,
+            note: Note::Winner {
+                plan: 4,
+                vp: Addr(77),
+            },
+        });
+        s.contribute(Contribution {
+            vtime: 1.0,
+            req: 0,
+            seq: 1,
+            note: Note::DirectFutile { src, cur },
+        });
+        s.contribute(Contribution {
+            vtime: 1.0,
+            req: 0,
+            seq: 2,
+            note: Note::SpoofFutile { cur },
+        });
+        // A competing later winner must not replace the first.
+        s.contribute(Contribution {
+            vtime: 2.0,
+            req: 1,
+            seq: 0,
+            note: Note::Winner {
+                plan: 4,
+                vp: Addr(88),
+            },
+        });
+        s.merge_pending();
+        assert_eq!(s.winner(4), Some(Addr(77)));
+        assert!(s.direct_futile(src, cur));
+        assert!(s.spoof_futile(cur), "router-keyed futility is source-free");
+        assert!(
+            !s.direct_futile(Addr(2), cur),
+            "direct futility stays per-source"
+        );
+        let st = s.stats();
+        assert_eq!(st.winner_hits, 1);
+        assert_eq!(st.direct_skips, 1);
+        assert_eq!(st.spoof_skips, 1);
+    }
+
+    #[test]
+    fn vp_futility_accumulates_per_plan_and_counts_only_real_prunes() {
+        let s = StopSet::new();
+        let (plan, other) = (40u64, 41u64);
+        assert!(s.futile_vps(plan).is_empty());
+        for (seq, vp) in [Addr(70), Addr(71)].into_iter().enumerate() {
+            s.contribute(Contribution {
+                vtime: 1.0,
+                req: 0,
+                seq: seq as u64,
+                note: Note::VpFutile { plan, vp },
+            });
+        }
+        s.merge_pending();
+        let f = s.futile_vps(plan);
+        assert_eq!(f.len(), 2, "futile VPs accumulate under one plan");
+        assert!(f.contains(&Addr(70)) && f.contains(&Addr(71)));
+        assert!(
+            s.futile_vps(other).is_empty(),
+            "futility stays per-plan, not global"
+        );
+        // Consults alone count nothing; only reported prunes do.
+        assert_eq!(s.stats().vp_skips, 0);
+        s.note_vp_skips(2);
+        s.note_vp_skips(0);
+        assert_eq!(s.stats().vp_skips, 2);
+        assert_eq!(s.stats().total_hits(), 2);
+    }
+
+    #[test]
+    fn forward_set_first_wins_and_clears_per_source() {
+        let s = StopSet::new();
+        let (a, b, hop) = (Addr(1), Addr(2), Addr(9));
+        assert!(s.forward(a, hop).is_none());
+        s.forward_insert(a, hop, None);
+        s.forward_insert(b, hop, None);
+        s.forward_insert(a, hop, None); // duplicate: kept, not re-counted
+        assert_eq!(s.forward_len(), 2);
+        assert_eq!(s.forward(a, hop), Some(None), "known-unanswered is a hit");
+        s.forward_clear_source(a);
+        assert!(s.forward(a, hop).is_none(), "cleared source re-measures");
+        assert_eq!(s.forward(b, hop), Some(None), "other sources untouched");
+        let st = s.stats();
+        assert_eq!(st.forward_hits, 2);
+        assert_eq!(st.forward_misses, 2);
+    }
+
+    #[test]
+    fn snapshot_diffs() {
+        let s = StopSet::new();
+        s.forward_insert(Addr(1), Addr(2), None);
+        s.forward(Addr(1), Addr(2));
+        let a = s.stats();
+        s.forward(Addr(1), Addr(2));
+        s.forward(Addr(1), Addr(3));
+        let d = s.stats().since(&a);
+        assert_eq!(d.forward_hits, 1);
+        assert_eq!(d.forward_misses, 1);
+        assert_eq!(d.forward_lookups(), 2);
+        assert_eq!(d.total_hits(), 1);
+    }
+}

@@ -531,6 +531,138 @@ fn slo_verdicts_and_exports_are_worker_count_invariant() {
     }
 }
 
+/// Build a campaign system with the stop sets toggled, returning it with
+/// a counter-sharing prober clone and the baseline workload.
+fn stop_set_system<'s>(
+    sim: &'s Sim,
+    use_stop_sets: bool,
+) -> (RevtrSystem<'s>, Prober<'s>, Addr, Vec<Addr>) {
+    let prober = Prober::new(sim);
+    let shared = prober.clone();
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 100, 6);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = pool.len();
+    cfg.use_stop_sets = use_stop_sets;
+    let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    let (src, dests) = workload(sim, 24);
+    sys.register_source(src);
+    (sys, shared, src, dests)
+}
+
+#[test]
+fn stop_set_toggle_preserves_stitched_paths_across_dispatch_workers() {
+    // The campaign stop sets must be a pure probe economy: with churn off,
+    // replayed forward-set observations are bitwise what a fresh probe
+    // would return, so toggling them on — at any dispatch worker count —
+    // must leave every stitched path identical to the off control while
+    // measurably saving atlas probes. This is the on/off arm of the
+    // metamorphic suite the deterministic merge barrier exists for:
+    // contributions fold in (vtime, id, seq) order, so OS scheduling
+    // across {1, 4, 16} workers cannot leak into the published view.
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let (off_sys, off_probes, src, dests) = stop_set_system(&sim, false);
+        let pairs: Vec<(Addr, Addr)> = dests.iter().map(|&d| (d, src)).collect();
+        let off = off_sys
+            .run_campaign(
+                &pairs,
+                LoopConfig {
+                    quantum: 64,
+                    policy: BatchPolicy::FillFirst,
+                    workers: 1,
+                },
+            )
+            .expect("no task panicked");
+        let off_fp: Vec<Fingerprint> = off.results.iter().map(fingerprint).collect();
+        assert_eq!(
+            off_sys.stopset().stats().total_hits(),
+            0,
+            "off control touched the stop sets (seed {seed})"
+        );
+        let off_atlas_rr = off_probes.counters().snapshot().atlas_rr;
+
+        for workers in [1usize, 4, 16] {
+            let (on_sys, on_probes, on_src, on_dests) = stop_set_system(&sim, true);
+            assert_eq!(
+                (on_src, &on_dests),
+                (src, &dests),
+                "workload moved between arms"
+            );
+            let on = on_sys
+                .run_campaign(
+                    &pairs,
+                    LoopConfig {
+                        quantum: 64,
+                        policy: BatchPolicy::FillFirst,
+                        workers,
+                    },
+                )
+                .expect("no task panicked");
+            let on_fp: Vec<Fingerprint> = on.results.iter().map(fingerprint).collect();
+            assert_arms_identical(&format!("stop sets on, w{workers}"), seed, &off_fp, &on_fp);
+            assert!(
+                on_sys.stopset().stats().total_hits() > 0,
+                "on arm never hit the stop sets (seed {seed}, w{workers})"
+            );
+            assert!(
+                on_probes.counters().snapshot().atlas_rr < off_atlas_rr,
+                "forward set saved no atlas probes (seed {seed}, w{workers})"
+            );
+        }
+    }
+}
+
+#[test]
+fn stop_set_reuse_is_audit_sound_and_coverage_monotone() {
+    // Cross-request evidence reuse: a second campaign over the same pairs
+    // consults the backward set the first campaign published at its wave
+    // barrier. Every reused observation carries its *send-time*
+    // provenance, so the reusing results must replay clean against the
+    // ground-truth auditor — zero unsound hops — and reuse may never
+    // cost coverage.
+    let complete = |fps: &[Fingerprint]| fps.iter().filter(|(s, _)| *s == Status::Complete).count();
+    for seed in SEEDS {
+        let sim = Sim::build(base_cfg(), seed);
+        let (sys, _probes, src, dests) = stop_set_system(&sim, true);
+        let pairs: Vec<(Addr, Addr)> = dests.iter().map(|&d| (d, src)).collect();
+        let lc = || LoopConfig {
+            quantum: 64,
+            policy: BatchPolicy::FillFirst,
+            workers: 4,
+        };
+        let first = sys.run_campaign(&pairs, lc()).expect("no task panicked");
+        let h1 = sys.stopset().stats();
+        let second = sys.run_campaign(&pairs, lc()).expect("no task panicked");
+        let reuse = sys.stopset().stats().since(&h1);
+        assert!(
+            reuse.backward_hits > 0,
+            "second campaign never reused backward evidence (seed {seed})"
+        );
+
+        let auditor = Auditor::new(&sim, EngineConfig::revtr2().registry_only_ip2as);
+        for r in &second.results {
+            if let Some(f) = auditor.audit(r).failures().next() {
+                panic!(
+                    "reused evidence audits unsound (seed {seed}): {} -> {} hop {} ({}): {:?}",
+                    r.dst, r.src, f.index, f.kind, f.verdict
+                );
+            }
+        }
+
+        let first_fp: Vec<Fingerprint> = first.results.iter().map(fingerprint).collect();
+        let second_fp: Vec<Fingerprint> = second.results.iter().map(fingerprint).collect();
+        assert!(
+            complete(&second_fp) >= complete(&first_fp),
+            "evidence reuse reduced coverage (seed {seed}): {} < {}",
+            complete(&second_fp),
+            complete(&first_fp)
+        );
+    }
+}
+
 #[test]
 fn atlas_shrink_is_coverage_monotone_and_accuracy_stable() {
     for seed in SEEDS {
