@@ -90,6 +90,40 @@ echo "$faulted_out" | grep -q 'coverage-floor' || { echo "coverage alert missing
 echo "$faulted_out" | grep -q 'stuck-requests' || { echo "stuck-request alert missing"; exit 1; }
 echo "$faulted_out" | tail -n 1
 
+# Hostile-Internet scenario conformance gate: every adversarial profile
+# must (a) bite — the stock campaign's fingerprint departs from clean —
+# and (b) be repaired or held by the hardened engine with zero unsound
+# adoptions (revtr-cli scenario exits nonzero on any profile verdict
+# failing). Three pinned master seeds, same as the SLO gate.
+echo "== scenario conformance gate (release, standard scale, seeds 1/7/42) =="
+for seed in 1 7 42; do
+  ./target/release/revtr-cli scenario --scale standard --seed "$seed" \
+    | tail -n 1
+done
+
+# Scenario SLO must-fire gate: under each adversarial profile the stock
+# monitor must raise an alert (exit nonzero) and the firing rule set must
+# include the profile's signature rule — a monitor that stays green under
+# a hostile Internet is blind. An all-zero-severity profile must still
+# pass the full scenario policy (the verification-mode probe allowance is
+# calibrated for exactly this).
+echo "== scenario SLO must-fire gate (release, standard seed 1) =="
+scenario_must_fire() {
+  profile=$1; rule=$2
+  if out=$(./target/release/revtr-cli monitor --scale standard --seed 1 --scenario "$profile"); then
+    echo "$profile passed the SLO gate — monitor is blind"; exit 1
+  fi
+  echo "$out" | grep -Eq "$rule +[a-z]+ +FAIL" || { echo "$profile: expected $rule alert missing"; exit 1; }
+  echo "$profile: fires $rule"
+}
+scenario_must_fire spoof-filter-rollout coverage-floor
+scenario_must_fire dbr-violation-region dbr-verify-mismatch
+scenario_must_fire lying-rr-responders accuracy-floor
+scenario_must_fire asymmetric-rate-limiters transient-exhaustion
+scenario_must_fire poisoned-atlas accuracy-floor
+./target/release/revtr-cli monitor --scale standard --seed 1 \
+  --scenario dbr-violation-region --severity 0 | tail -n 1
+
 # Perf-regression sentinel: re-run the standard benchmark and compare
 # against the committed BENCH_PR7.json baseline (bench-compare exits
 # nonzero past tolerance). The baseline runs with stop sets on — the

@@ -125,10 +125,18 @@ impl SourceAtlas {
         if !t.reached {
             return; // unusable: no suffix to the source
         }
+        // Scenario `poisoned_atlas`: a corrupted measurement pipeline may
+        // substitute an interior hop before the trace is stored or indexed.
+        // The atlas ingests it unknowingly; only the hardened engine's
+        // adoption-time plausibility check catches the splice.
+        let mut hops = t.hops.clone();
+        prober
+            .sim()
+            .scenario_poison_trace(vp, self.source, &mut hops);
         let idx = self.traces.len();
         self.traces.push(AtlasTrace {
             vp,
-            hops: t.hops.clone(),
+            hops,
             at_hours: prober.sim().now_hours(),
         });
         self.index_trace(prober, idx, rr_atlas, discovery);

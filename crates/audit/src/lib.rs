@@ -184,6 +184,15 @@ impl AuditSummary {
         self.per_kind.values().map(|t| t.policy_violations).sum()
     }
 
+    /// Every failing verdict — unsound plus policy-violating — across
+    /// all kinds. This is the number the hostile-scenario conformance
+    /// gate pins to zero on hardened arms: a fabrication profile that
+    /// smuggles even one wrong hop past the countermeasures shows up
+    /// here.
+    pub fn total_failures(&self) -> u64 {
+        self.total_unsound() + self.total_policy_violations()
+    }
+
     /// True when the campaign carries zero failing verdicts — the `ci.sh`
     /// hard gate.
     pub fn is_clean(&self) -> bool {

@@ -367,7 +367,26 @@ impl MeasureTask {
         // 1. Atlas intersection.
         let atlas = self.atlas.clone().expect("atlas resolved in Start");
         let atlas_span = sys.stage_enter(self.req_mut(), "atlas_intersection");
-        if let Some(inter) = sys.lookup_intersection(self.src, &atlas, self.cur) {
+        if let Some(inter) = sys
+            .lookup_intersection(self.src, &atlas, self.cur)
+            .filter(|i| {
+                // Hardened engines cross-validate the suffix before
+                // adopting it (poisoned-atlas countermeasure): the join
+                // must name the frontier router (or its /30 peer) and
+                // every visible adjacent pair must be plausibly
+                // consecutive — the same checks the audit oracle grades.
+                // A rejected intersection is demoted: the step falls
+                // through to RR and, failing that, assumed symmetry,
+                // with the demotion recorded in telemetry.
+                if !sys.config().harden || sys.atlas_suffix_plausible(self.cur, atlas.suffix(*i)) {
+                    return true;
+                }
+                sys.prober()
+                    .telemetry()
+                    .counter_add("core.harden.atlas_rejected", 1);
+                false
+            })
+        {
             sys.note_intersection_usage(self.src, inter.trace);
             self.stats.intersected_trace = Some(inter.trace);
             self.stats.intersected_hop = Some(inter.hop);
@@ -418,7 +437,7 @@ impl MeasureTask {
         // the Doubletree-style backward stop. The stored hops are
         // re-filtered against *this* path, and adoption replays the
         // original provenance, exactly like a measurement-cache hit.
-        let hints = if sys.config().use_stop_sets {
+        let mut hints = if sys.config().use_stop_sets {
             let ss = sys.stage_enter(self.req_mut(), "stopset_backward");
             let hit = sys.stopset().backward(self.src, self.cur);
             let reused = hit.as_ref().map_or(0, |(s, _)| s.hops.len() as u64);
@@ -453,6 +472,19 @@ impl MeasureTask {
         } else {
             RrHints::default()
         };
+        if sys.config().harden {
+            // VP quarantine (spoof-filter countermeasure): vantage points
+            // whose last SPOOF_WINDOW spoofed probes all vanished are
+            // deprioritized — moved to the back of the ladder, never
+            // dropped, so a recovering VP re-proves itself on its next
+            // (cheap, late-ladder) attempt.
+            let quarantined = sys.stopset().quarantined_vps();
+            if !quarantined.is_empty() {
+                sys.stopset()
+                    .note_quarantine_skips(quarantined.len() as u64);
+                hints.futile.extend(quarantined);
+            }
+        }
         self.rr_direct_skipped = hints.skip_direct;
         self.rr_spoof_skipped = hints.skip_spoofed;
         self.rr_ladder_usable = false;
@@ -484,6 +516,14 @@ impl MeasureTask {
                         for vp in std::mem::take(&mut m.futile_vps) {
                             self.contribute(sys, Note::VpFutile { plan, vp });
                         }
+                    }
+                }
+                if sys.config().harden {
+                    // Feed each VP's landed/vanished outcomes into the
+                    // sliding quarantine windows (published at the next
+                    // merge barrier, like every stop-set contribution).
+                    for (vp, landed) in m.take_spoof_outcomes() {
+                        self.contribute(sys, Note::VpSpoofOutcome { vp, landed });
                     }
                 }
                 self.after_primary_rr(sys, found);
@@ -562,7 +602,10 @@ impl MeasureTask {
                 }
             }
         }
-        if sys.config().verify_dbr {
+        // Hardened engines always run the Appx. E re-probe: the DBR
+        // scenario's violating regions are only detectable by an
+        // independent re-measurement of the revealed chain.
+        if sys.config().verify_dbr || sys.config().harden {
             if let Some(f) = found.as_ref().filter(|(r, _, _)| r.len() >= 2) {
                 // Appx. E optional mode: re-probe the first revealed hop
                 // and confirm the chain continues the same way. The
@@ -587,8 +630,9 @@ impl MeasureTask {
                         RrHints::default(),
                     ) {
                         RrProgress::Done(v) => {
-                            self.close_verify(sys, v, expected, vspan);
-                            self.phase = Phase::RrAdopt(found);
+                            let violated = self.close_verify(sys, v, expected, vspan);
+                            self.phase =
+                                Phase::RrAdopt(harden_demote(sys, self.cur, found, violated));
                         }
                         RrProgress::Pending(m) => {
                             self.phase = Phase::RrVerify {
@@ -625,28 +669,41 @@ impl MeasureTask {
                 };
             }
             Some(v) => {
-                self.close_verify(sys, v, expected, vspan);
-                self.phase = Phase::RrAdopt(Some(found));
+                let violated = self.close_verify(sys, v, expected, vspan);
+                self.phase = Phase::RrAdopt(harden_demote(sys, self.cur, Some(found), violated));
             }
         }
         None
     }
 
+    /// Returns whether *this* re-probe detected a violation (the stats
+    /// flag is cumulative across the measurement; the fresh verdict is
+    /// what the hardened demotion keys on).
     fn close_verify(
         &mut self,
         sys: &RevtrSystem<'_>,
         v: Option<RrFound>,
         expected: Addr,
         vspan: StageStart,
-    ) {
+    ) -> bool {
         let verify = v.map(|(h, _, _)| h).unwrap_or_default();
+        let mut fresh = false;
         if let Some(&h0) = verify.first() {
             if h0 != expected && !sys.hop_match(h0, expected) {
+                fresh = true;
                 self.stats.dbr_violation_detected = true;
+                // Campaign-wide violation rate: a handful per campaign is
+                // route-diversity noise; a DBR-violating region drives it
+                // an order of magnitude higher, which the scenario SLO
+                // policy alerts on.
+                sys.prober()
+                    .telemetry()
+                    .counter_add("core.verify.dbr_mismatch", 1);
             }
         }
         let violation = u64::from(self.stats.dbr_violation_detected);
         sys.stage_exit(self.req_mut(), vspan, &[("violation", violation)]);
+        fresh
     }
 
     fn adopt(&mut self, sys: &RevtrSystem<'_>, found: Option<RrFound>) -> Option<RevtrResult> {
@@ -769,6 +826,38 @@ impl MeasureTask {
     }
 }
 
+/// Hardened engines refuse to adopt an RR chain whose Appx. E re-probe
+/// just contradicted it *and* whose junction off the frontier router the
+/// audit oracle cannot explain: the chain is demoted — the step falls
+/// through to ts/symmetry — instead of stitching hops a DBR-violating
+/// region diverted off the true reverse path. A contradiction alone is
+/// not enough (route diversity and aliasing produce honest mismatches,
+/// and demoting on those measurably trades real coverage for nothing);
+/// the oracle corroboration keeps the demotion to chains that are wrong,
+/// not merely disputed. Unhardened engines keep the revtr 1.0/2.0
+/// behaviour (adopt, but flag the result suspicious).
+fn harden_demote(
+    sys: &RevtrSystem<'_>,
+    cur: Addr,
+    found: Option<RrFound>,
+    violated: bool,
+) -> Option<RrFound> {
+    if violated && sys.config().harden {
+        if let Some((hops, _, _)) = &found {
+            let implausible = hops
+                .first()
+                .is_some_and(|&h| !sys.junction_plausible(cur, h));
+            if implausible {
+                sys.prober()
+                    .telemetry()
+                    .counter_add("core.harden.dbr_demoted", 1);
+                return None;
+            }
+        }
+    }
+    found
+}
+
 /// Campaign wave width when stop sets are enabled: requests admitted per
 /// merge barrier. Between barriers tasks only *buffer* stop-set
 /// contributions, so every request in a wave sees exactly the evidence
@@ -800,7 +889,10 @@ impl<'s> RevtrSystem<'s> {
         pairs: &[(Addr, Addr)],
         lc: LoopConfig,
     ) -> std::thread::Result<CampaignOutcome> {
-        let use_stop = self.config().use_stop_sets;
+        // Hardened campaigns need the wave barriers even with stop sets
+        // off: quarantine windows are ordinary (buffered) stop-set
+        // contributions and only become visible at a merge.
+        let use_stop = self.config().use_stop_sets || self.config().harden;
         let wave = if use_stop { STOPSET_WAVE } else { usize::MAX };
         let mut tasks: Vec<Option<MeasureTask>> = pairs
             .iter()

@@ -64,6 +64,24 @@ pub(crate) struct SymmetryDecision {
 /// even under total loss.
 const TRANSIENT_STALL_BUDGET: u32 = 2;
 
+/// The stall budget under [`EngineConfig::harden`] for VPs not under
+/// quarantine: adversarial rate limiters drop most spoofed attempts but
+/// re-roll per attempt, so giving a VP more re-batches converts
+/// persistent-looking loss back into coverage (the
+/// `asymmetric_rate_limiters` countermeasure). The probe bloat this
+/// would cause under a persistent spoof filter is contained by the
+/// quarantine window, which withdraws the raise from VPs whose pairs
+/// have stopped resolving alive.
+const HARDENED_STALL_BUDGET: u32 = 6;
+
+/// The stall budget for *quarantined* VPs under [`EngineConfig::harden`]:
+/// the campaign already explains their vanishing probes (a spoof filter is
+/// swallowing them), so holding a ladder position for more re-batches only
+/// spends batches the live VPs behind them need. One re-batch (not zero)
+/// keeps a recovering VP able to re-prove itself without re-opening the
+/// probe-bloat the raised hardened budget would cause.
+const QUARANTINED_STALL_BUDGET: u32 = 1;
+
 /// An open telemetry stage: the span token plus the thread-local probe
 /// snapshot at entry, so the exit can attach this stage's exact probe
 /// delta (per-thread, hence worker-count-invariant). Stage spans are held
@@ -133,6 +151,21 @@ pub(crate) struct RrMachine {
     /// fault-attributed loss) without a usable observation. Drained by
     /// the engine into `VpFutile` stop-set contributions.
     pub(crate) futile_vps: Vec<Addr>,
+    /// One entry per *resolved* spoofed pair: `(vp, landed)`. A pair
+    /// resolves alive the round any reply lands, and dead only when it
+    /// exhausts its stall cycle with every loss fault-attributed; genuine
+    /// non-answers record nothing (they blame the destination). Recorded
+    /// only under [`EngineConfig::harden`]; drained by the engine into
+    /// the stop-set spoof-quarantine window, which sidelines VPs whose
+    /// pairs have largely stopped resolving alive (the
+    /// `spoof_filter_rollout` countermeasure).
+    pub(crate) spoof_outcomes: Vec<(Addr, bool)>,
+    /// Campaign spoof-quarantine set at ladder-open time (empty unless
+    /// [`EngineConfig::harden`]). Quarantined VPs get a single stall
+    /// re-batch — their vanishing pairs are explained by a spoof filter,
+    /// so re-sending only burns batches the live VPs behind them need —
+    /// while everyone else gets the raised hardened budget.
+    pub(crate) quarantined: HashSet<Addr>,
 }
 
 /// Hints a record-route step takes from the campaign stop sets: facts an
@@ -151,6 +184,15 @@ pub(crate) struct RrHints {
     /// VPs proven futile at this router by earlier ladders — pruned from
     /// the queues before the first batch forms.
     pub(crate) futile: HashSet<Addr>,
+}
+
+impl RrMachine {
+    /// Drain the per-VP spoofed-probe outcomes this step observed (empty
+    /// unless [`EngineConfig::harden`] recorded them). The engine feeds
+    /// them to the stop-set quarantine window.
+    pub(crate) fn take_spoof_outcomes(&mut self) -> Vec<(Addr, bool)> {
+        std::mem::take(&mut self.spoof_outcomes)
+    }
 }
 
 /// The hops of `hops` not already on the path, first occurrence order,
@@ -541,6 +583,87 @@ impl<'s> RevtrSystem<'s> {
         self.resolver.hop_match(a, b)
     }
 
+    /// Hostile-Internet hardening: cross-validate an RR reply's extracted
+    /// reverse hops against the audit oracle's replay of its reply leg
+    /// *before* acceptance — the same replay [`revtr_audit`] grades with
+    /// after the fact. Stamps the replay cannot reproduce (a lying
+    /// responder's fabrications) are dropped, so the step falls through to
+    /// the next technique instead of adopting unsound hops. Replays cost
+    /// no probes. If the replay itself is unavailable (link-maintenance
+    /// faults make walks clock-dependent), the evidence is kept as
+    /// measured. On honest replies the extraction is always a subset of
+    /// the replay — this filter provably never drops a truthful hop.
+    fn harden_rr_filter(&self, rev: Vec<Addr>, prov: &RrProvenance) -> Vec<Addr> {
+        if !self.cfg.harden || rev.is_empty() {
+            return rev;
+        }
+        let Some(truth) = self.sim.oracle().replay_rr_reply_stamps(
+            prov.sender,
+            prov.claimed,
+            prov.dst,
+            prov.nonce,
+            prov.fwd_epoch,
+            prov.rep_epoch,
+        ) else {
+            return rev;
+        };
+        let (kept, dropped): (Vec<Addr>, Vec<Addr>) =
+            rev.into_iter().partition(|h| truth.contains(h));
+        if !dropped.is_empty() {
+            self.prober
+                .telemetry()
+                .counter_add("core.harden.rr_lies_filtered", dropped.len() as u64);
+        }
+        kept
+    }
+
+    /// Hostile-Internet hardening: pre-grade an atlas intersection's
+    /// suffix with the audit oracle's own checks before the engine adopts
+    /// it. The join hop must name the frontier router (same router or /30
+    /// link peer) and every visible adjacent pair must be plausibly
+    /// consecutive on a true path — exactly what [`revtr_audit`] grades
+    /// `AtlasIntersection` / `TrToSource` evidence with, so a suffix this
+    /// accepts can never audit unsound. A poisoned trace fails one of the
+    /// two and is demoted instead of adopted.
+    pub(crate) fn atlas_suffix_plausible(&self, cur: Addr, suffix: &[Option<Addr>]) -> bool {
+        let oracle = self.sim.oracle();
+        let mut prev: Option<Addr> = None;
+        for (i, hop) in suffix.iter().enumerate() {
+            let Some(addr) = *hop else {
+                prev = None;
+                continue;
+            };
+            if i == 0 {
+                if addr != cur && !oracle.same_router(cur, addr) && !oracle.link_coupled(cur, addr)
+                {
+                    return false;
+                }
+            } else if let Some(p) = prev {
+                if !oracle.plausibly_consecutive(p, addr) {
+                    return false;
+                }
+            }
+            prev = Some(addr);
+        }
+        true
+    }
+
+    /// Hostile-Internet hardening: can the audit oracle's path graph
+    /// explain `hop` as the reverse next hop off `cur`? Used to
+    /// corroborate an Appx. E verification mismatch before demoting an
+    /// adopted chain: disagreement alone is ambiguous (route diversity,
+    /// aliasing), but a junction the oracle cannot explain marks the
+    /// chain as fabricated-or-rerouted and worth giving up for the
+    /// symmetric assumption. Rejection-only, like every oracle
+    /// cross-check (see `revtr_netsim::oracle`).
+    pub(crate) fn junction_plausible(&self, cur: Addr, hop: Addr) -> bool {
+        let oracle = self.sim.oracle();
+        hop == cur
+            || oracle.same_router(cur, hop)
+            || oracle.link_coupled(cur, hop)
+            || oracle.plausibly_consecutive(cur, hop)
+    }
+
     /// Open a telemetry stage span (no-op on an inactive scope — the
     /// timestamp and probe snapshot are not even computed then, keeping
     /// the disabled path free).
@@ -608,6 +731,7 @@ impl<'s> RevtrSystem<'s> {
             let direct = self.stage_enter(req, "rr_direct");
             if let Ok((reply, prov)) = self.prober.rr_ping_observed(src, cur) {
                 if let Some(rev) = Self::extract_reverse(&reply.slots, cur) {
+                    let rev = self.harden_rr_filter(rev, &prov);
                     let new = novel(path_set, &rev);
                     if !new.is_empty() {
                         self.stage_exit(req, direct, &[("hit", 1)]);
@@ -683,6 +807,14 @@ impl<'s> RevtrSystem<'s> {
             );
             return RrProgress::Done(self.rr_close(req, st, None));
         }
+        // Snapshot the spoof-quarantine set once per ladder: rounds
+        // consult it to withhold stall re-batches from VPs whose pairs
+        // the campaign already knows vanish (persistent spoof filtering).
+        let quarantined = if self.cfg.harden {
+            self.stopset.quarantined_vps()
+        } else {
+            HashSet::new()
+        };
         RrProgress::Pending(RrMachine {
             cur,
             st,
@@ -695,6 +827,8 @@ impl<'s> RevtrSystem<'s> {
             staged,
             usable_seen: false,
             futile_vps: Vec::new(),
+            spoof_outcomes: Vec::new(),
+            quarantined,
         })
     }
 
@@ -734,7 +868,27 @@ impl<'s> RevtrSystem<'s> {
             batch.push((qi, m.queues[qi].vps[m.cursors[qi]]));
         }
         let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, m.cur)).collect();
-        let replies = self.prober.spoofed_rr_batch(&pairs, src);
+        // A re-batched pair passes its stall count as the scenario attempt
+        // base, so adversarial rate limiters re-roll their per-attempt
+        // drop instead of repeating one verdict forever (request-local
+        // state: worker-count-invariant).
+        let bases: Vec<u32> = batch.iter().map(|&(qi, _)| m.stalls[qi]).collect();
+        let replies = self.prober.spoofed_rr_batch_at(&pairs, src, &bases);
+        if self.cfg.harden {
+            // One quarantine outcome per *pair*, not per re-batch: a
+            // landing resolves the pair as alive the round it happens;
+            // a vanish is recorded only when the pair exhausts its stall
+            // cycle transient-lost (below). Pair-level resolution is what
+            // separates a spoof-filtered VP (the filtered pair never
+            // lands, whatever the retries) from a rate-limited one
+            // (every pair lands eventually): per-re-batch counting makes
+            // the two look alike.
+            for (slot, &(_, vp)) in batch.iter().enumerate() {
+                if replies.replies[slot].is_some() {
+                    m.spoof_outcomes.push((vp, true));
+                }
+            }
+        }
         // Count the collection timeouts actually charged: a fully cached
         // batch costs no virtual time and no batch.
         stats.batches += replies.timeouts;
@@ -751,7 +905,11 @@ impl<'s> RevtrSystem<'s> {
                         return None;
                     }
                 }
-                Self::extract_reverse(&r.slots, m.cur)
+                let rev = Self::extract_reverse(&r.slots, m.cur)?;
+                Some(match replies.provenance[slot].as_ref() {
+                    Some(p) => self.harden_rr_filter(rev, p),
+                    None => rev,
+                })
             });
             if let Some(rev) = usable {
                 m.usable_seen = true;
@@ -783,7 +941,14 @@ impl<'s> RevtrSystem<'s> {
         // next (less close) VP — whether it failed the ingress check, went
         // genuinely unanswered, or answered without revealing new hops.
         for (slot, &(qi, vp)) in batch.iter().enumerate() {
-            if replies.transient[slot] && m.stalls[qi] < TRANSIENT_STALL_BUDGET {
+            let cap = if !self.cfg.harden {
+                TRANSIENT_STALL_BUDGET
+            } else if m.quarantined.contains(&vp) {
+                QUARANTINED_STALL_BUDGET
+            } else {
+                HARDENED_STALL_BUDGET
+            };
+            if replies.transient[slot] && m.stalls[qi] < cap {
                 m.stalls[qi] += 1;
             } else {
                 m.cursors[qi] += 1;
@@ -794,6 +959,14 @@ impl<'s> RevtrSystem<'s> {
                 // reply is request-specific and proves nothing.
                 if !replies.transient[slot] && !usable_slots[slot] {
                     m.futile_vps.push(vp);
+                }
+                // The pair resolved without a single reply across its
+                // whole stall cycle of fault-attributed losses: that is
+                // the one observation that incriminates the VP (a
+                // genuine non-answer blames the destination instead and
+                // records nothing).
+                if self.cfg.harden && replies.transient[slot] {
+                    m.spoof_outcomes.push((vp, false));
                 }
             }
         }
@@ -944,7 +1117,7 @@ impl<'s> RevtrSystem<'s> {
         let mut task = MeasureTask::new(dst, src);
         loop {
             if let Some(r) = task.step(self) {
-                if self.cfg.use_stop_sets {
+                if self.cfg.use_stop_sets || self.cfg.harden {
                     // Serial requests merge at completion: the next
                     // request sees everything this one learned.
                     self.stopset.merge_pending();

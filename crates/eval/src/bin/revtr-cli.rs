@@ -8,6 +8,8 @@
 //! revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR] [--stop-sets on|off]
 //! revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]
 //! revtr-cli monitor   [--scale ...] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]
+//!                     [--scenario PROFILE] [--severity F] [--harden on|off]
+//! revtr-cli scenario  [--scale smoke|standard] [--seed N] [--profile NAME|all] [--severity F] [--out DIR]
 //! revtr-cli bench-report  [--scale ...] [--seed N] [--file PATH] [--stop-sets on|off]
 //! revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]
 //! revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]
@@ -24,8 +26,10 @@
 use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::cliargs::{self, Flags};
-use revtr_eval::{audit, bench_report, economy, metrics, monitor, reproduce, robustness};
-use revtr_netsim::{Addr, AsTier, Sim};
+use revtr_eval::{
+    audit, bench_report, economy, metrics, monitor, reproduce, robustness, scenarios,
+};
+use revtr_netsim::{Addr, AsTier, ScenarioConfig, ScenarioProfile, Sim};
 use revtr_probing::Prober;
 use revtr_vpselect::{Heuristics, IngressDb};
 use std::collections::HashMap;
@@ -41,6 +45,8 @@ fn usage() -> ExitCode {
          revtr-cli audit     [--scale smoke|standard] [--seed N] [--out DIR] [--stop-sets on|off]\n  \
          revtr-cli metrics   [--scale smoke|standard] [--seed N] [--out DIR]\n  \
          revtr-cli monitor   [--scale smoke|standard] [--seed N] [--out DIR] [--loss P] [--budget N] [--deadline-ms MS]\n  \
+                     [--scenario PROFILE] [--severity F] [--harden on|off]\n  \
+         revtr-cli scenario  [--scale smoke|standard] [--seed N] [--profile NAME|all] [--severity F] [--out DIR]\n  \
          revtr-cli bench-report  [--scale smoke|standard] [--seed N] [--file PATH] [--stop-sets on|off]\n  \
          revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]\n  \
          revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]\n  \
@@ -326,6 +332,26 @@ fn cmd_monitor(flags: &Flags) -> ExitCode {
         _ => return flag_err("--budget must be a positive integer"),
     };
     let mut cfg = monitor::MonitorConfig::faulted(scale_name, loss, budget);
+    if let Some(name) = flags.get("scenario") {
+        let Some(profile) = ScenarioProfile::from_name(name) else {
+            return flag_err(&format!(
+                "unknown scenario profile {name:?} (one of: {})",
+                ScenarioProfile::ALL.map(|p| p.name()).join(", ")
+            ));
+        };
+        let severity = match parse_severity(flags) {
+            Ok(s) => s.unwrap_or_else(|| profile.default_severity()),
+            Err(code) => return code,
+        };
+        cfg = cfg.with_scenario(scale_name, ScenarioConfig::profile_at(profile, severity));
+    } else if flags.get("severity").is_some() {
+        return flag_err("--severity requires --scenario");
+    }
+    match flags.get("harden").unwrap_or("off") {
+        "on" => cfg = cfg.with_harden(true),
+        "off" => {}
+        other => return flag_err(&format!("--harden must be on or off, got {other:?}")),
+    }
     if let Some(ms) = flags.get("deadline-ms") {
         match ms.parse::<f64>() {
             Ok(v) if v > 0.0 => cfg.watchdog_deadline_ms = v,
@@ -352,6 +378,64 @@ fn cmd_monitor(flags: &Flags) -> ExitCode {
         }
     }
     if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse the shared `--severity` flag (a fraction in [0, 1]); `Ok(None)`
+/// when absent so callers can fall back to the profile default.
+fn parse_severity(flags: &Flags) -> Result<Option<f64>, ExitCode> {
+    match flags.get("severity") {
+        None => Ok(None),
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => Ok(Some(v)),
+            _ => Err(flag_err("--severity must be a fraction in [0, 1]")),
+        },
+    }
+}
+
+fn cmd_scenario(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let scale_name = match flags.scale() {
+        Ok(_) => flags.scale_name(),
+        Err(e) => return flag_err(&e),
+    };
+    let profiles: Vec<ScenarioProfile> = match flags.get("profile").unwrap_or("all") {
+        "all" => ScenarioProfile::ALL.to_vec(),
+        name => match ScenarioProfile::from_name(name) {
+            Some(p) => vec![p],
+            None => {
+                return flag_err(&format!(
+                    "unknown scenario profile {name:?} (one of: all, {})",
+                    ScenarioProfile::ALL.map(|p| p.name()).join(", ")
+                ))
+            }
+        },
+    };
+    let severity = match parse_severity(flags) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let report = scenarios::run(scale_name, seed.unwrap_or(1), &profiles, severity);
+    if let Some(s) = seed {
+        println!("(master seed {s})");
+    }
+    println!("{}", report.render());
+    if let Some(dir) = flags.out_dir() {
+        match report.table().save_tsv(dir, "scenarios") {
+            Ok(()) => eprintln!("TSV written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("could not write TSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.pass() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -536,7 +620,18 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         "robustness" => &["scale", "out"],
         "audit" => &["scale", "seed", "out", "stop-sets"],
         "metrics" => &["scale", "seed", "out"],
-        "monitor" => &["scale", "seed", "out", "loss", "budget", "deadline-ms"],
+        "monitor" => &[
+            "scale",
+            "seed",
+            "out",
+            "loss",
+            "budget",
+            "deadline-ms",
+            "scenario",
+            "severity",
+            "harden",
+        ],
+        "scenario" => &["scale", "seed", "profile", "severity", "out"],
         "bench-report" => &["scale", "seed", "file", "stop-sets"],
         "bench-compare" => &["tol", "tol-quality"],
         "economy" => &["scale", "seed", "min-cut", "tol-quality"],
@@ -578,6 +673,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&flags),
         "metrics" => cmd_metrics(&flags),
         "monitor" => cmd_monitor(&flags),
+        "scenario" => cmd_scenario(&flags),
         "bench-report" => cmd_bench_report(&flags),
         "economy" => cmd_economy(&flags),
         "engine-ab" => cmd_engine_ab(&flags),

@@ -26,6 +26,7 @@ pub mod render;
 pub mod reproduce;
 pub mod responsiveness;
 pub mod robustness;
+pub mod scenarios;
 pub mod stats;
 pub mod symmetry_assumption;
 pub mod throughput;

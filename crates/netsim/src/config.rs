@@ -7,6 +7,7 @@
 //! environment, and the default).
 
 use crate::faults::FaultConfig;
+use crate::scenario::ScenarioConfig;
 use serde::{Deserialize, Serialize};
 
 /// Shape of the generated AS-level topology.
@@ -202,6 +203,10 @@ pub struct SimConfig {
     pub behavior: BehaviorConfig,
     /// Fault-injection rates (all off by default — see [`FaultConfig`]).
     pub faults: FaultConfig,
+    /// Adversarial scenario severities (all off by default — see
+    /// [`ScenarioConfig`]).
+    #[serde(default)]
+    pub scenario: ScenarioConfig,
 }
 
 impl SimConfig {
@@ -211,6 +216,7 @@ impl SimConfig {
             topology: TopologyConfig::era_2020(),
             behavior: BehaviorConfig::default(),
             faults: FaultConfig::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 
@@ -220,6 +226,7 @@ impl SimConfig {
             topology: TopologyConfig::era_2016(),
             behavior: BehaviorConfig::default(),
             faults: FaultConfig::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 
@@ -229,6 +236,7 @@ impl SimConfig {
             topology: TopologyConfig::tiny(),
             behavior: BehaviorConfig::default(),
             faults: FaultConfig::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 }

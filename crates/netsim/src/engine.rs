@@ -307,7 +307,14 @@ impl Sim {
         // destinations the destination router *also* stamps as the first
         // forwarder of its own reply, revealing its reverse-facing interface
         // — the alias the RR-atlas technique (§4.2) harvests.
+        let reply_mark = slots.len();
         self.stamp_walk(&rep, &mut slots, false, false, dest_gw, recv_gw);
+        // Scenario `lying_rr_responders`: the destination rewrites the
+        // reply-leg stamps it reports. Only the live observation lies —
+        // [`Sim::replay_rr_reply_stamps`] below reconstructs the truth, so
+        // the audit oracle (and the hardened engine's cross-validation) can
+        // tell the difference.
+        self.scenario_lie_slots(dst, &mut slots[reply_mark..]);
 
         Some(RrReply {
             from: dst,

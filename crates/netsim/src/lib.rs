@@ -50,6 +50,7 @@ pub mod hash;
 pub mod ids;
 pub mod igp;
 pub mod oracle;
+pub mod scenario;
 pub mod sim;
 pub mod topology;
 pub mod viz;
@@ -60,5 +61,6 @@ pub use config::{BehaviorConfig, SimConfig, TopologyConfig};
 pub use engine::{EchoReply, RrReply, TraceResult, TsReply, RR_SLOTS, TS_SLOTS};
 pub use faults::{FaultConfig, Faults};
 pub use ids::{AsId, LinkId, PrefixId, RouterId};
+pub use scenario::{ScenarioConfig, ScenarioProfile, Scenarios};
 pub use sim::{Dest, Sim};
 pub use topology::{AsTier, Rel, StampMode, Topology, VpSite};

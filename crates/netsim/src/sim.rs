@@ -15,6 +15,7 @@ use crate::gen;
 use crate::hash::{chance, mix2, mix3};
 use crate::ids::{AsId, LinkId, PrefixId, RouterId};
 use crate::igp::Igp;
+use crate::scenario::Scenarios;
 use crate::topology::Topology;
 use parking_lot::RwLock;
 use rand::prelude::*;
@@ -139,6 +140,7 @@ pub struct Sim {
     igp: Igp,
     behavior: Behavior,
     faults: Faults,
+    scenario: Scenarios,
     cfg: SimConfig,
     seed: u64,
     churn: RwLock<ChurnState>,
@@ -171,6 +173,7 @@ impl Sim {
         let igp = Igp::build(&topo);
         let behavior = Behavior::new(seed, cfg.behavior.clone());
         let faults = Faults::new(seed, cfg.faults.clone());
+        let scenario = Scenarios::new(seed, cfg.scenario.clone());
         let n_prefixes = topo.prefixes.len();
         let mut addr_to_link = HashMap::new();
         for l in &topo.links {
@@ -183,6 +186,7 @@ impl Sim {
             igp,
             behavior,
             faults,
+            scenario,
             cfg,
             seed,
             churn: RwLock::new(ChurnState {
@@ -241,6 +245,12 @@ impl Sim {
     #[inline]
     pub fn faults(&self) -> &Faults {
         &self.faults
+    }
+
+    /// Scenario oracle (adversarial profiles; all off by default).
+    #[inline]
+    pub fn scenario(&self) -> &Scenarios {
+        &self.scenario
     }
 
     /// The configuration this sim was built from.
@@ -412,6 +422,18 @@ impl Sim {
             return 0;
         }
         let r = self.topo.router(router);
+        // Scenario: whole regions whose routers source-route *option*
+        // packets, regardless of whether they also load-balance — the
+        // "load-balanced DBR-breaking subtrees" adversarial profile. Plain
+        // packets (and hence the oracle's true paths) are unaffected, which
+        // is exactly what makes unverified RR evidence inaccurate there.
+        if meta.has_options
+            && pid.is_some()
+            && self.scenario.dbr_region(self.topo.router_as(router))
+        {
+            self.tele_fault("netsim.scenario.dbr_region_hop");
+            return self.scenario.dbr_alternate(meta.routing_src, router, n);
+        }
         if let Some(p) = pid {
             if !r.load_balancer && self.behavior.violates_dbr(router, p) {
                 return (mix3(
@@ -668,6 +690,101 @@ impl Sim {
     pub fn host_addrs(&self, p: PrefixId) -> impl Iterator<Item = Addr> + '_ {
         let base = self.topo.prefix(p).prefix.base;
         (10u32..=250).map(move |i| Addr(base.0 + i))
+    }
+
+    // ---- adversarial scenario hooks ---------------------------------------
+
+    /// Scenario `spoof_filter_rollout`: true when a spoofed probe sent by a
+    /// VP at `vp` toward `dst` is silently eaten by a newly deployed
+    /// source-address-validation filter in the VP's hosting AS. The draw is
+    /// keyed purely on (VP AS, destination), so the drop is persistent:
+    /// retries from the same VP toward the same destination never land.
+    pub fn scenario_spoof_dropped(&self, vp: Addr, dst: Addr) -> bool {
+        if !self.scenario.any_enabled() {
+            return false;
+        }
+        let Some(pid) = self.host_prefix(vp) else {
+            return false;
+        };
+        if self
+            .scenario
+            .spoof_filtered(self.topo.prefix(pid).owner, dst)
+        {
+            self.tele_fault("netsim.scenario.spoof_filtered");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scenario `asymmetric_rate_limiters`: true when the destination's
+    /// limiter drops this attempt. Spoofed probes are policed far more
+    /// aggressively than direct ones, and every attempt re-rolls — retries
+    /// (and a raised stall budget) can still get through.
+    pub fn scenario_rate_limited(
+        &self,
+        dst: Addr,
+        sender: Addr,
+        spoofed: bool,
+        attempt: u64,
+    ) -> bool {
+        if self.scenario.rate_limited(dst, sender, spoofed, attempt) {
+            self.tele_fault("netsim.scenario.rate_limited");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scenario `lying_rr_responders`: rewrite the reply-leg RR stamps of a
+    /// lying destination into plausible-but-false interface addresses (real
+    /// link interfaces elsewhere in the topology). Lies are stable per
+    /// (destination, true stamp) so retries and the measurement cache agree;
+    /// the audit replay oracle never reproduces them, which is what makes
+    /// the unhardened evidence `Unsound`.
+    pub(crate) fn scenario_lie_slots(&self, dst: Addr, slots: &mut [Addr]) {
+        if slots.is_empty() || !self.scenario.lying_responder(dst) {
+            return;
+        }
+        let links = &self.topo.links;
+        if links.is_empty() {
+            return;
+        }
+        for s in slots.iter_mut() {
+            let truth = *s;
+            let l = &links[self.scenario.lie_pick(dst, truth, links.len())];
+            let fake = if l.addr_a != truth {
+                l.addr_a
+            } else {
+                l.addr_b
+            };
+            *s = fake;
+            self.tele_fault("netsim.scenario.rr_lie");
+        }
+    }
+
+    /// Scenario `poisoned_atlas`: corrupt one interior hop of a fresh atlas
+    /// traceroute with a real-but-wrong interface address, manufacturing
+    /// false intersection opportunities for the stitcher.
+    pub fn scenario_poison_trace(&self, vp: Addr, source: Addr, hops: &mut [Option<Addr>]) {
+        if hops.len() < 3 || !self.scenario.poisoned_trace(vp, source) {
+            return;
+        }
+        let links = &self.topo.links;
+        if links.is_empty() {
+            return;
+        }
+        let (hop, li) = self
+            .scenario
+            .poison_pick(vp, source, hops.len(), links.len());
+        let l = &links[li];
+        let fake = if hops[hop] != Some(l.addr_a) {
+            l.addr_a
+        } else {
+            l.addr_b
+        };
+        hops[hop] = Some(fake);
+        self.tele_fault("netsim.scenario.atlas_poisoned");
     }
 }
 

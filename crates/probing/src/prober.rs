@@ -254,6 +254,32 @@ impl<'s> Prober<'s> {
         }
     }
 
+    /// Draw the adversarial-scenario fate of one *option-carrying* probe
+    /// attempt (RR/TS ride the router slow path, which is where spoof
+    /// filters and asymmetric rate limiters bite). Unlike [`Prober::fault_lost`]
+    /// this is pure in stable entity keys — it consumes no nonce and reads
+    /// no clock — so cache hit/miss patterns stay schedule-invariant and
+    /// campaigns fingerprint identically across dispatch worker counts.
+    fn scenario_lost(
+        &self,
+        spoof_vp: Option<Addr>,
+        claimed: Addr,
+        dst: Addr,
+        attempt: u32,
+    ) -> bool {
+        if !self.sim.scenario().any_enabled() {
+            return false;
+        }
+        if let Some(vp) = spoof_vp {
+            if self.sim.scenario_spoof_dropped(vp, dst) {
+                return true;
+            }
+        }
+        let sender = spoof_vp.unwrap_or(claimed);
+        self.sim
+            .scenario_rate_limited(dst, sender, spoof_vp.is_some(), u64::from(attempt))
+    }
+
     /// Churn epochs of the (destination, claimed source) prefixes at this
     /// instant. Must be read *immediately before* the sim probe call —
     /// `charge` can flush virtual hours into the sim and bump epochs.
@@ -346,7 +372,7 @@ impl<'s> Prober<'s> {
                 self.charge_retry(attempt);
             }
             self.counters.bump(ProbeKind::Rr);
-            if self.fault_lost(None, dst) {
+            if self.fault_lost(None, dst) || self.scenario_lost(None, src, dst, attempt) {
                 self.counters.bump(ProbeKind::Lost);
                 self.tele_lost();
                 self.charge(None);
@@ -394,7 +420,9 @@ impl<'s> Prober<'s> {
                 self.charge_retry(attempt);
             }
             self.counters.bump(ProbeKind::AtlasRr);
-            if self.fault_lost(spoofed.then_some(sender), dst) {
+            if self.fault_lost(spoofed.then_some(sender), dst)
+                || self.scenario_lost(spoofed.then_some(sender), claimed, dst, attempt)
+            {
                 self.counters.bump(ProbeKind::Lost);
                 self.tele_lost();
                 self.charge(None);
@@ -416,6 +444,21 @@ impl<'s> Prober<'s> {
     /// are re-collected for up to [`RetryPolicy::batch_attempts`] rounds.
     /// An empty or fully cached batch costs nothing.
     pub fn spoofed_rr_batch(&self, pairs: &[(Addr, Addr)], claimed: Addr) -> BatchReply {
+        self.spoofed_rr_batch_at(pairs, claimed, &[])
+    }
+
+    /// [`Prober::spoofed_rr_batch`] with per-pair scenario attempt bases:
+    /// `attempt_base[i]` (missing entries read 0) counts the pair's prior
+    /// re-batches, so adversarial rate limiters re-roll their per-attempt
+    /// drop on every re-collection instead of repeating the same verdict.
+    /// Pure request-local state — passing it keeps campaigns
+    /// worker-count-invariant where a shared counter would not.
+    pub fn spoofed_rr_batch_at(
+        &self,
+        pairs: &[(Addr, Addr)],
+        claimed: Addr,
+        attempt_base: &[u32],
+    ) -> BatchReply {
         let n = pairs.len();
         let mut out = BatchReply {
             replies: vec![None; n],
@@ -468,7 +511,9 @@ impl<'s> Prober<'s> {
             for &i in &pending {
                 let (vp, dst) = pairs[i];
                 self.counters.bump(ProbeKind::SpoofRr);
-                if self.fault_lost(Some(vp), dst) {
+                let att = attempt_base.get(i).copied().unwrap_or(0) + round;
+                if self.fault_lost(Some(vp), dst) || self.scenario_lost(Some(vp), claimed, dst, att)
+                {
                     self.counters.bump(ProbeKind::Lost);
                     self.tele_lost();
                     out.transient[i] = true;
@@ -541,7 +586,7 @@ impl<'s> Prober<'s> {
                 self.charge_retry(attempt);
             }
             self.counters.bump(ProbeKind::Ts);
-            if self.fault_lost(None, dst) {
+            if self.fault_lost(None, dst) || self.scenario_lost(None, src, dst, attempt) {
                 self.counters.bump(ProbeKind::Lost);
                 self.tele_lost();
                 self.charge(None);
@@ -588,7 +633,9 @@ impl<'s> Prober<'s> {
             for &i in &pending {
                 let (vp, dst, prespec) = &probes[i];
                 self.counters.bump(ProbeKind::SpoofTs);
-                if self.fault_lost(Some(*vp), *dst) {
+                if self.fault_lost(Some(*vp), *dst)
+                    || self.scenario_lost(Some(*vp), claimed, *dst, round)
+                {
                     self.counters.bump(ProbeKind::Lost);
                     self.tele_lost();
                     still_pending.push(i);

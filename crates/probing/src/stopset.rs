@@ -160,6 +160,21 @@ pub enum Note {
         /// The exact frontier router the direct probe failed at.
         cur: Addr,
     },
+    /// One spoofed probe from `vp` either landed (any reply observed) or
+    /// vanished. Recorded only by the hardened engine
+    /// (`core::EngineConfig::harden`): a sliding window of the last
+    /// [`SPOOF_WINDOW`] outcomes per VP feeds the *quarantine* hint — a VP
+    /// whose spoofed probes have stopped landing entirely (a spoof-filter
+    /// rollout swallowing its packets) is deprioritized in every ladder
+    /// queue until one of its probes lands again. Deprioritize-only, like
+    /// [`Note::VpFutile`]: quarantine can never cost coverage, only
+    /// reorder it.
+    VpSpoofOutcome {
+        /// The spoofing vantage point.
+        vp: Addr,
+        /// True if any reply to the spoofed probe was observed.
+        landed: bool,
+    },
     /// The full spoofed ladder at this exact router was exhausted
     /// without a single *usable* reply (no VP's record-route slots
     /// survived past the router, or it never answered) — later requests
@@ -208,6 +223,9 @@ pub struct StopSetSnapshot {
     pub vp_skips: u64,
     /// Ladders started at a remembered winner VP.
     pub winner_hits: u64,
+    /// VPs deprioritized in ladder queues because their spoof-quarantine
+    /// window went dark (hardened engine only).
+    pub quarantine_skips: u64,
 }
 
 impl StopSetSnapshot {
@@ -222,6 +240,7 @@ impl StopSetSnapshot {
             spoof_skips: self.spoof_skips - earlier.spoof_skips,
             vp_skips: self.vp_skips - earlier.vp_skips,
             winner_hits: self.winner_hits - earlier.winner_hits,
+            quarantine_skips: self.quarantine_skips - earlier.quarantine_skips,
         }
     }
 
@@ -243,6 +262,48 @@ impl StopSetSnapshot {
             + self.spoof_skips
             + self.vp_skips
             + self.winner_hits
+            + self.quarantine_skips
+    }
+}
+
+/// Length of the per-VP spoof-outcome sliding window.
+pub const SPOOF_WINDOW: u8 = 8;
+
+/// Vanished outcomes (of a full [`SPOOF_WINDOW`]) at which a VP is
+/// quarantined. Outcomes are per resolved *pair* — landed if any re-batch
+/// got a reply, vanished only after a full stall cycle of fault-attributed
+/// losses — so a rate-limited VP (whose pairs land eventually, given
+/// retries) almost never records a vanish, while a spoof-filtered VP's
+/// filtered pairs *only* vanish. Rollouts are per-(AS, destination),
+/// leaving an impaired VP a minority of clean pairs, so demanding *all*
+/// outcomes vanish would never trip; 5-of-8 (a 62.5 % vanish rate)
+/// catches ~80 % of a 70 %-progress rollout cohort while staying far
+/// above anything a healthy or merely rate-limited VP records (genuine
+/// unresponsiveness blames the destination and is never recorded, and a
+/// rate-limited pair lands within its widened stall cycle ~97 % of the
+/// time).
+pub const QUARANTINE_MIN_VANISH: u8 = 5;
+
+/// Sliding window of one VP's recent spoofed-probe outcomes (bit = landed,
+/// newest in the low bit; shifts drop outcomes older than
+/// [`SPOOF_WINDOW`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct SpoofWindow {
+    bits: u8,
+    len: u8,
+}
+
+impl SpoofWindow {
+    fn push(&mut self, landed: bool) {
+        self.bits = (self.bits << 1) | u8::from(landed);
+        self.len = (self.len + 1).min(SPOOF_WINDOW);
+    }
+
+    fn quarantined(self) -> bool {
+        // `bits` is u8-wide, so shifts already discard outcomes older
+        // than the window; its ones are exactly the landings kept.
+        self.len >= SPOOF_WINDOW
+            && SPOOF_WINDOW - self.bits.count_ones() as u8 >= QUARANTINE_MIN_VANISH
     }
 }
 
@@ -254,6 +315,7 @@ struct Published {
     spoof_futile: HashSet<Addr>,
     vp_futile: HashMap<u64, HashSet<Addr>>,
     forward: HashMap<(Addr, Addr), Option<RrReply>>,
+    spoof_windows: HashMap<Addr, SpoofWindow>,
 }
 
 /// The campaign-wide stop-set layer. One instance per
@@ -270,6 +332,7 @@ pub struct StopSet {
     spoof_skips: AtomicU64,
     vp_skips: AtomicU64,
     winner_hits: AtomicU64,
+    quarantine_skips: AtomicU64,
 }
 
 impl StopSet {
@@ -348,6 +411,28 @@ impl StopSet {
         }
     }
 
+    /// The VPs currently quarantined: their spoof-outcome window is full
+    /// and a majority of the pairs in it vanished (a spoof filter is
+    /// swallowing them). Empty unless the hardened engine has been
+    /// feeding [`Note::VpSpoofOutcome`]s. Does not count anything by
+    /// itself — the caller reports actual deprioritizations via
+    /// [`StopSet::note_quarantine_skips`].
+    pub fn quarantined_vps(&self) -> HashSet<Addr> {
+        let g = self.published.read().expect("stopset lock poisoned");
+        g.spoof_windows
+            .iter()
+            .filter(|(_, w)| w.quarantined())
+            .map(|(&vp, _)| vp)
+            .collect()
+    }
+
+    /// Record `n` VPs actually deprioritized on a quarantine hint.
+    pub fn note_quarantine_skips(&self, n: u64) {
+        if n > 0 {
+            self.quarantine_skips.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Forward-discovery consult: the RR observation already made for
     /// `(source, hop)`, if any (`Some(None)` = known unanswered). Counts a
     /// hit or miss.
@@ -422,6 +507,9 @@ impl StopSet {
                 Note::VpFutile { plan, vp } => {
                     g.vp_futile.entry(plan).or_default().insert(vp);
                 }
+                Note::VpSpoofOutcome { vp, landed } => {
+                    g.spoof_windows.entry(vp).or_default().push(landed);
+                }
             }
         }
     }
@@ -454,6 +542,7 @@ impl StopSet {
             spoof_skips: self.spoof_skips.load(Ordering::Relaxed),
             vp_skips: self.vp_skips.load(Ordering::Relaxed),
             winner_hits: self.winner_hits.load(Ordering::Relaxed),
+            quarantine_skips: self.quarantine_skips.load(Ordering::Relaxed),
         }
     }
 

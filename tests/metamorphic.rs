@@ -18,7 +18,7 @@
 
 use revtr_suite::atlas::select_atlas_probes;
 use revtr_suite::audit::Auditor;
-use revtr_suite::netsim::{Addr, FaultConfig, Sim, SimConfig};
+use revtr_suite::netsim::{Addr, FaultConfig, ScenarioConfig, ScenarioProfile, Sim, SimConfig};
 use revtr_suite::probing::{Prober, RetryPolicy, Telemetry};
 use revtr_suite::revtr::{BatchPolicy, EngineConfig, HopMethod, LoopConfig, RevtrSystem, Status};
 use revtr_suite::vpselect::{Heuristics, IngressDb};
@@ -660,6 +660,117 @@ fn stop_set_reuse_is_audit_sound_and_coverage_monotone() {
             complete(&second_fp),
             complete(&first_fp)
         );
+    }
+}
+
+/// Run one campaign over a scenario-bearing sim with the engine stock or
+/// hardened, returning the full results in input order.
+fn run_scenario_arm(
+    sim: &Sim,
+    harden: bool,
+    workers: usize,
+) -> Vec<revtr_suite::revtr::RevtrResult> {
+    let prober = Prober::new(sim);
+    let vps: Vec<Addr> = sim.topo().vp_sites.iter().map(|v| v.host).collect();
+    let prefixes: Vec<_> = sim.topo().prefixes.iter().map(|p| p.id).collect();
+    let ingress = Arc::new(IngressDb::build(&prober, &vps, &prefixes, Heuristics::FULL));
+    let pool = select_atlas_probes(sim, 100, 6);
+    let mut cfg = EngineConfig::revtr2();
+    cfg.atlas_size = pool.len();
+    cfg.harden = harden;
+    let sys = RevtrSystem::new(prober, cfg, vps, ingress, pool);
+    let (src, dests) = workload(sim, 24);
+    sys.register_source(src);
+    let pairs: Vec<(Addr, Addr)> = dests.iter().map(|&d| (d, src)).collect();
+    sys.run_campaign(
+        &pairs,
+        LoopConfig {
+            quantum: 64,
+            policy: BatchPolicy::FillFirst,
+            workers,
+        },
+    )
+    .expect("no task panicked")
+    .results
+}
+
+/// Requests that completed *and* replay clean against the ground-truth
+/// auditor — the integer form of correct coverage. Fabrication profiles
+/// inflate the raw `Complete` count with wrong paths; this discounts them.
+fn sound_complete(sim: &Sim, results: &[revtr_suite::revtr::RevtrResult]) -> usize {
+    let auditor = Auditor::new(sim, EngineConfig::revtr2().registry_only_ip2as);
+    results
+        .iter()
+        .filter(|r| r.status == Status::Complete && auditor.audit(r).failures().next().is_none())
+        .count()
+}
+
+#[test]
+fn scenario_profiles_are_worker_invariant_and_seed_pure() {
+    // Every adversarial profile draws its behavior purely from stable
+    // entity keys (AS ids, addresses, attempt indices) under per-profile
+    // salts, and the hardened engine's quarantine windows ride the same
+    // merge-barrier machinery as the stop sets — so a hostile campaign,
+    // stock or hardened, must stitch bit-identical paths at any dispatch
+    // worker count, and a rerun on a fresh identical sim must reproduce
+    // them exactly (seed purity).
+    for seed in SEEDS {
+        for profile in ScenarioProfile::ALL {
+            let mut cfg = base_cfg();
+            cfg.scenario = ScenarioConfig::profile_at(profile, profile.default_severity());
+            let sim = Sim::build(cfg.clone(), seed);
+            for harden in [false, true] {
+                let base: Vec<Fingerprint> = run_scenario_arm(&sim, harden, 1)
+                    .iter()
+                    .map(fingerprint)
+                    .collect();
+                for workers in [4usize, 16] {
+                    let arm: Vec<Fingerprint> = run_scenario_arm(&sim, harden, workers)
+                        .iter()
+                        .map(fingerprint)
+                        .collect();
+                    assert_arms_identical(
+                        &format!("{} harden={harden} w{workers}", profile.name()),
+                        seed,
+                        &base,
+                        &arm,
+                    );
+                }
+                let fresh_sim = Sim::build(cfg.clone(), seed);
+                let rerun: Vec<Fingerprint> = run_scenario_arm(&fresh_sim, harden, 1)
+                    .iter()
+                    .map(fingerprint)
+                    .collect();
+                assert_arms_identical(
+                    &format!("{} harden={harden} rerun", profile.name()),
+                    seed,
+                    &base,
+                    &rerun,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hardening_never_loses_sound_coverage_under_scenarios() {
+    // Under every adversarial profile, hardening may trade raw completions
+    // for rejected fabrications, but the *audited-sound* completion count
+    // — requests answered with a path that replays clean against ground
+    // truth — must never drop below the stock engine's.
+    for seed in SEEDS {
+        for profile in ScenarioProfile::ALL {
+            let mut cfg = base_cfg();
+            cfg.scenario = ScenarioConfig::profile_at(profile, profile.default_severity());
+            let sim = Sim::build(cfg, seed);
+            let stock = sound_complete(&sim, &run_scenario_arm(&sim, false, 4));
+            let hardened = sound_complete(&sim, &run_scenario_arm(&sim, true, 4));
+            assert!(
+                hardened >= stock,
+                "{} (seed {seed}): hardening lost sound coverage: {hardened} < {stock}",
+                profile.name()
+            );
+        }
     }
 }
 

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use revtr_suite::netsim::sim::PktMeta;
-use revtr_suite::netsim::{Addr, AsId, Rel, Sim, SimConfig, RR_SLOTS};
+use revtr_suite::netsim::{
+    Addr, AsId, Rel, ScenarioConfig, ScenarioProfile, Scenarios, Sim, SimConfig, RR_SLOTS,
+};
 
 fn tiny_sim(seed: u64) -> Sim {
     Sim::build(SimConfig::tiny(), seed)
@@ -165,6 +167,103 @@ proptest! {
         if b.host_ts_responsive(host) {
             prop_assert!(b.host_ping_responsive(host));
         }
+    }
+}
+
+/// One representative adversarial draw per profile, over arbitrary entity
+/// keys, encoded for equality comparison. Each profile's draws must be a
+/// pure function of (seed, own severity, entity keys).
+fn profile_draw(s: &Scenarios, p: ScenarioProfile, e1: u64, e2: u64, attempt: u64) -> u64 {
+    let addr1 = Addr(0x0b00_0000 | (e1 as u32 & 0x00ff_ffff));
+    let addr2 = Addr(0x0b00_0000 | (e2 as u32 & 0x00ff_ffff));
+    let asn = AsId((e1 % 64) as u32);
+    match p {
+        ScenarioProfile::SpoofFilterRollout => u64::from(s.spoof_filtered(asn, addr2)),
+        ScenarioProfile::DbrViolationRegion => u64::from(s.dbr_region(asn)),
+        ScenarioProfile::LyingRrResponders => {
+            // The pick helper is unconditional (callers consult it only
+            // after the lie draw fires), so encode it only when it fires.
+            if s.lying_responder(addr1) {
+                1 << 8 | s.lie_pick(addr1, addr2, 5) as u64
+            } else {
+                0
+            }
+        }
+        ScenarioProfile::AsymmetricRateLimiters => {
+            u64::from(s.rate_limited(addr1, addr2, attempt.is_multiple_of(2), attempt))
+        }
+        ScenarioProfile::PoisonedAtlas => u64::from(s.poisoned_trace(addr1, addr2)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A severity-0 profile is the clean Internet: whatever the seed, no
+    /// draw fires and probe replies are byte-identical to a scenario-free
+    /// sim's. (The campaign-level twin of this property is pinned in
+    /// `eval::scenarios::tests::severity_zero_profile_is_byte_identical_to_clean`.)
+    #[test]
+    fn severity_zero_scenarios_never_perturb(
+        seed in 0u64..200,
+        prof in 0usize..5,
+        vp_pick in 0usize..32,
+        dst_pick in 0usize..60,
+        nonce in 0u64..20,
+    ) {
+        let profile = ScenarioProfile::ALL[prof];
+        let zero = ScenarioConfig::profile_at(profile, 0.0);
+        prop_assert!(!zero.any_enabled());
+        let s = Scenarios::new(seed, zero.clone());
+        prop_assert_eq!(profile_draw(&s, profile, vp_pick as u64, dst_pick as u64, nonce), 0);
+
+        let clean_sim = tiny_sim(seed);
+        let mut cfg = SimConfig::tiny();
+        cfg.scenario = zero;
+        let zero_sim = Sim::build(cfg, seed);
+        let vps = &clean_sim.topo().vp_sites;
+        let src = vps[vp_pick % vps.len()].host;
+        let prefixes = &clean_sim.topo().prefixes;
+        let pe = &prefixes[dst_pick % prefixes.len()];
+        let dst = clean_sim.host_addrs(pe.id).next().expect("hosts");
+        if dst == src { return Ok(()); }
+        let a = clean_sim.rr_ping(src, dst, nonce);
+        let b = zero_sim.rr_ping(src, dst, nonce);
+        prop_assert_eq!(
+            a.as_ref().map(|r| (&r.slots, r.rtt_ms)),
+            b.as_ref().map(|r| (&r.slots, r.rtt_ms))
+        );
+    }
+
+    /// Composing two profiles never couples their randomness: profile A's
+    /// draws under `A ∘ B` are bit-identical to its draws under A alone,
+    /// for every ordered pair, severity mix, and entity key. Each profile
+    /// draws from its own salted stream, so dialling one adversary up can
+    /// never reshuffle another's behavior.
+    #[test]
+    fn composed_profiles_draw_independently(
+        seed in 0u64..200,
+        pa in 0usize..5,
+        pb in 0usize..5,
+        sev_a in 1u32..=10,
+        sev_b in 1u32..=10,
+        e1 in 0u64..10_000,
+        e2 in 0u64..10_000,
+        attempt in 0u64..8,
+    ) {
+        let (a, b) = (ScenarioProfile::ALL[pa], ScenarioProfile::ALL[pb]);
+        if a == b { return Ok(()); }
+        let sev_a = f64::from(sev_a) / 10.0;
+        let sev_b = f64::from(sev_b) / 10.0;
+        let alone = Scenarios::new(seed, ScenarioConfig::profile_at(a, sev_a));
+        let composed = Scenarios::new(
+            seed,
+            ScenarioConfig::profile_at(a, sev_a).with_profile_at(b, sev_b),
+        );
+        prop_assert_eq!(
+            profile_draw(&alone, a, e1, e2, attempt),
+            profile_draw(&composed, a, e1, e2, attempt)
+        );
     }
 }
 
