@@ -151,6 +151,22 @@ echo "== engine A/B gate (release, standard seed 1, w8 vs q8) =="
 ./target/release/revtr-cli engine-ab --scale standard --seed 1 --workers 8 | tail -n 1 \
   || ./target/release/revtr-cli engine-ab --scale standard --seed 1 --workers 8 | tail -n 1
 
+# Loadtest gate: the production traffic model at standard scale. Each
+# pinned seed runs the steady pattern (clean service: full SLO policy,
+# zero sheds, quiescent ladder) and the flash-crowd pattern (overload:
+# only the lowest class sheds, gold goodput holds >= 98%, the ladder
+# engages and recovers). Every run also proves the per-arrival results
+# fingerprint, per-class accounting, and ladder-transition log are
+# bit-identical across dispatch workers {1, 4, 16} (revtr-cli loadtest
+# exits nonzero on any determinism or judgment failure).
+echo "== loadtest gate (release, standard scale, seeds 1/7/42, steady + flash-crowd) =="
+for seed in 1 7 42; do
+  ./target/release/revtr-cli loadtest --scale standard --seed "$seed" --pattern steady \
+    | tail -n 1
+  ./target/release/revtr-cli loadtest --scale standard --seed "$seed" --pattern flash-crowd \
+    | tail -n 1
+done
+
 # Standard-scale metrics golden (seed 42): TSV bytes and campaign
 # fingerprints pinned under crates/eval/tests/goldens/standard42.
 echo "== metrics golden gate (release, standard seed 42) =="

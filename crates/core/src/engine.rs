@@ -115,6 +115,26 @@ pub struct CampaignOutcome {
     pub events: u64,
 }
 
+/// One admitted request of an open-loop wave: a measurement plus the
+/// virtual arrival time and degradation level the admission layer fixed
+/// for it. Consumed by [`RevtrSystem::run_wave_timed`].
+#[derive(Clone, Copy, Debug)]
+pub struct TimedJob {
+    /// Reverse traceroute destination.
+    pub dst: Addr,
+    /// Registered source the path is stitched toward.
+    pub src: Addr,
+    /// Virtual arrival time in milliseconds since campaign start: the
+    /// control block's first ready time and its shadow-clock origin.
+    pub arrival_ms: f64,
+    /// Campaign-unique request id (stop-set contribution stamp and heap
+    /// tie-break); callers use the global arrival index.
+    pub id: usize,
+    /// Degradation-ladder level for this request (0 = full service; see
+    /// `MeasureTask::degrade`).
+    pub degrade: u8,
+}
+
 /// Size in bytes of one in-flight measurement's control block (excluding
 /// its heap-owned path state, which grows with the stitched path). The
 /// concurrency smoke reports this: 50k+ in-flight measurements cost 50k
@@ -224,6 +244,11 @@ pub(crate) struct MeasureTask {
     pub(crate) shadow_ms: f64,
     /// Private probe-counter shadow, swapped in around each step.
     pub(crate) shadow_snap: Snapshot,
+    /// Degradation-ladder level assigned at admission (0 = full service;
+    /// 1 = spoofed batches capped at one probe; 2+ = cache/stop-set/atlas
+    /// evidence only, no new RR probes). Fixed for the task's lifetime —
+    /// the admission layer, not the engine, moves the ladder.
+    pub(crate) degrade: u8,
 }
 
 impl MeasureTask {
@@ -252,6 +277,7 @@ impl MeasureTask {
             rr_ladder_usable: false,
             shadow_ms: 0.0,
             shadow_snap: Snapshot::default(),
+            degrade: 0,
         }
     }
 
@@ -468,6 +494,7 @@ impl MeasureTask {
                 skip_spoofed,
                 winner: plan.and_then(|p| stop.winner(p)),
                 futile: plan.map(|p| stop.futile_vps(p)).unwrap_or_default(),
+                batch_cap: None,
             }
         } else {
             RrHints::default()
@@ -483,6 +510,29 @@ impl MeasureTask {
                 sys.stopset()
                     .note_quarantine_skips(quarantined.len() as u64);
                 hints.futile.extend(quarantined);
+            }
+        }
+        // Degradation ladder (admission control's brownout levels, set
+        // per timed job): L1 shrinks the spoofed batch to one probe; L2+
+        // additionally answers from cache/stop-set/atlas evidence only —
+        // no new RR probes at all. The skip flags below keep a degraded
+        // step from publishing false futility into the stop sets, the
+        // same guard the stop-set hints already need.
+        match self.degrade {
+            0 => {}
+            1 => {
+                hints.batch_cap = Some(1);
+                sys.prober()
+                    .telemetry()
+                    .counter_add("core.degrade.capped_steps", 1);
+            }
+            _ => {
+                hints.batch_cap = Some(1);
+                hints.skip_direct = true;
+                hints.skip_spoofed = true;
+                sys.prober()
+                    .telemetry()
+                    .counter_add("core.degrade.rr_suppressed", 1);
             }
         }
         self.rr_direct_skipped = hints.skip_direct;
@@ -954,6 +1004,82 @@ impl<'s> RevtrSystem<'s> {
                 .map(|r| r.expect("every admitted task completed"))
                 .collect(),
             inflight_peak,
+            events,
+        })
+    }
+
+    /// Run one admission wave of *timed* requests on the event loop.
+    ///
+    /// This is the open-loop entry point: each [`TimedJob`] becomes a
+    /// control block whose first event fires at the job's virtual
+    /// **arrival time** instead of zero, and whose shadow clock is
+    /// anchored there — so a request admitted at hour 30 sees hour-30
+    /// cache ages and its telemetry spans are offset from its own
+    /// admission, exactly as if it had arrived at a live service. The
+    /// caller (the admission layer) owns wave chunking, shedding, and
+    /// the degradation ladder; this method only executes what was
+    /// admitted and merges buffered stop-set contributions at the end of
+    /// the wave when stop sets (or hardening) are enabled.
+    ///
+    /// `jobs` must be sorted by `(arrival_ms, id)` with campaign-unique,
+    /// increasing ids — the same total order the arrival generator
+    /// emits — so the wave-local schedule reproduces the global one.
+    /// Results come back in job order; determinism across `lc.workers`
+    /// follows from the same shadow-swap argument as
+    /// [`RevtrSystem::run_campaign`].
+    pub fn run_wave_timed(
+        &self,
+        jobs: &[TimedJob],
+        lc: LoopConfig,
+    ) -> std::thread::Result<CampaignOutcome> {
+        let use_stop = self.config().use_stop_sets || self.config().harden;
+        let mut tasks: Vec<Option<MeasureTask>> = jobs
+            .iter()
+            .map(|j| {
+                let mut t = MeasureTask::new(j.dst, j.src);
+                t.id = j.id;
+                t.degrade = j.degrade;
+                t.shadow_ms = j.arrival_ms;
+                Some(t)
+            })
+            .collect();
+        let mut results: Vec<Option<RevtrResult>> = jobs.iter().map(|_| None).collect();
+        let mut events: u64 = 0;
+        let round = match lc.policy {
+            BatchPolicy::DeadlineFirst => 1,
+            BatchPolicy::FillFirst => lc.quantum.max(1),
+        };
+        let workers = lc.workers.max(1).min(jobs.len().max(1));
+        let mut heap: BinaryHeap<Reverse<EventKey>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                Reverse(EventKey {
+                    vtime: j.arrival_ms,
+                    id: i,
+                    seq: 0,
+                })
+            })
+            .collect();
+        if workers > 1 {
+            let pool = workers.min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            );
+            self.run_campaign_workers(&mut tasks, &mut results, &mut heap, pool, &mut events)?;
+        } else {
+            self.run_campaign_serial(&mut tasks, &mut results, &mut heap, round, &mut events)?;
+        }
+        if use_stop {
+            self.stopset().merge_pending();
+        }
+        Ok(CampaignOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every admitted task completed"))
+                .collect(),
+            inflight_peak: jobs.len(),
             events,
         })
     }

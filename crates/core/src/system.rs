@@ -166,6 +166,10 @@ pub(crate) struct RrMachine {
     /// so re-sending only burns batches the live VPs behind them need —
     /// while everyone else gets the raised hardened budget.
     pub(crate) quarantined: HashSet<Addr>,
+    /// Spoofed-batch width for this ladder: the engine's configured
+    /// `batch_size` normally, or a smaller cap when the admission
+    /// layer's degradation ladder is shrinking spoofed batches.
+    batch_cap: usize,
 }
 
 /// Hints a record-route step takes from the campaign stop sets: facts an
@@ -184,6 +188,9 @@ pub(crate) struct RrHints {
     /// VPs proven futile at this router by earlier ladders — pruned from
     /// the queues before the first batch forms.
     pub(crate) futile: HashSet<Addr>,
+    /// Cap on the spoofed-batch width (degradation ladder L1+): `None`
+    /// uses the engine's configured `batch_size`.
+    pub(crate) batch_cap: Option<usize>,
 }
 
 impl RrMachine {
@@ -829,6 +836,7 @@ impl<'s> RevtrSystem<'s> {
             futile_vps: Vec::new(),
             spoof_outcomes: Vec::new(),
             quarantined,
+            batch_cap: hints.batch_cap.unwrap_or(self.cfg.batch_size).max(1),
         })
     }
 
@@ -864,7 +872,7 @@ impl<'s> RevtrSystem<'s> {
         // Compose a batch: the current VP of up to `batch_size` distinct
         // queues, in order.
         let mut batch: Vec<(usize, Addr)> = Vec::new();
-        for &qi in m.active.iter().take(self.cfg.batch_size) {
+        for &qi in m.active.iter().take(m.batch_cap) {
             batch.push((qi, m.queues[qi].vps[m.cursors[qi]]));
         }
         let pairs: Vec<(Addr, Addr)> = batch.iter().map(|&(_, vp)| (vp, m.cur)).collect();

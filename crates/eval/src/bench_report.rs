@@ -62,6 +62,12 @@ pub struct BenchReport {
     /// Stop-set effectiveness: sorted `(counter, count)` pairs
     /// (informational; absent in pre-PR7 baselines and parsed empty).
     pub stopset_stats: Vec<(String, u64)>,
+    /// Free-form informational counters — shed/degrade/queue-depth
+    /// accounting from the admission layer. Sorted `(key, count)` pairs;
+    /// absent in pre-PR9 baselines (parsed empty), and the comparator
+    /// never gates them: keys present in only one report are ignored, so
+    /// old baselines keep comparing as the note vocabulary grows.
+    pub notes: Vec<(String, u64)>,
     /// Campaign metrics fingerprint (hex, noted on mismatch, never gated).
     pub metrics_fingerprint: String,
     /// Campaign journal fingerprint (hex).
@@ -154,6 +160,23 @@ pub fn run(scale_name: &str, seed: u64, stop_sets: bool) -> BenchReport {
             ("vp_skips".into(), m.stopset.vp_skips),
             ("winner_hits".into(), m.stopset.winner_hits),
         ],
+        notes: vec![
+            (
+                "degrade.transitions".into(),
+                m.snapshot.counter("degrade.transitions.total"),
+            ),
+            (
+                "loadgen.shed.total".into(),
+                m.snapshot.counter("loadgen.shed.total"),
+            ),
+            (
+                "queue_depth.peak".into(),
+                m.snapshot
+                    .histogram("service.batch.queue_depth")
+                    .map(|h| h.max())
+                    .unwrap_or(0),
+            ),
+        ],
         metrics_fingerprint: format!("{:#018x}", m.metrics_fingerprint),
         journal_fingerprint: format!("{:#018x}", m.journal_fingerprint),
     }
@@ -200,6 +223,12 @@ impl BenchReport {
             } else {
                 ""
             };
+            let _ = writeln!(s, "    \"{k}\": {v}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"notes\": {{");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            let comma = if i + 1 < self.notes.len() { "," } else { "" };
             let _ = writeln!(s, "    \"{k}\": {v}{comma}");
         }
         let _ = writeln!(s, "  }},");
@@ -285,6 +314,21 @@ impl BenchReport {
                                     "stopset counter {k:?} not an integer: {other:?}"
                                 ))
                             }
+                        }
+                    }
+                }
+                pairs.sort();
+                pairs
+            },
+            // Lenient: pre-PR9 baselines don't carry admission notes.
+            notes: {
+                let mut pairs = Vec::new();
+                if let Some(ns) = v.get("notes").and_then(|s| s.as_object()) {
+                    for (k, nv) in ns {
+                        match nv {
+                            Value::U64(x) => pairs.push((k.clone(), *x)),
+                            Value::I64(x) if *x >= 0 => pairs.push((k.clone(), *x as u64)),
+                            other => return Err(format!("note {k:?} not an integer: {other:?}")),
                         }
                     }
                 }
@@ -513,6 +557,20 @@ pub fn compare(
             new.stopset_hits()
         ));
     }
+    // Admission notes (shed/degrade/queue-depth): informational, never
+    // gated, and compared only for keys present in BOTH reports — a
+    // baseline from before a note key existed (or after one is retired)
+    // still compares cleanly as the vocabulary grows.
+    for (k, old_v) in &old.notes {
+        let Some((_, new_v)) = new.notes.iter().find(|(nk, _)| nk == k) else {
+            continue;
+        };
+        if old_v != new_v {
+            c.notes.push(format!(
+                "note {k} {old_v} -> {new_v} (informational, never gated)"
+            ));
+        }
+    }
     c
 }
 
@@ -549,6 +607,11 @@ mod tests {
             inflight_peak: 20,
             stop_sets: false,
             stopset_stats: vec![],
+            notes: vec![
+                ("degrade.transitions".into(), 0),
+                ("loadgen.shed.total".into(), 0),
+                ("queue_depth.peak".into(), 12),
+            ],
             metrics_fingerprint: "0x00deadbeef001122".into(),
             journal_fingerprint: "0x0011223344556677".into(),
         }
@@ -665,6 +728,47 @@ mod tests {
         assert!(!parsed_legacy.stop_sets);
         assert!(parsed_legacy.stopset_stats.is_empty());
         assert_eq!(parsed_legacy.stopset_hits(), 0);
+    }
+
+    #[test]
+    fn notes_are_informational_and_legacy_baselines_still_compare() {
+        // Differing admission notes surface as notes, never regressions.
+        let old = sample();
+        let mut new = sample();
+        new.notes = vec![
+            ("degrade.transitions".into(), 6),
+            ("loadgen.shed.total".into(), 40),
+            ("queue_depth.peak".into(), 12),
+        ];
+        let c = compare(&old, &new, 0.10, 0.02);
+        assert!(c.pass(), "{}", c.render());
+        assert!(
+            c.notes
+                .iter()
+                .any(|n| n.contains("loadgen.shed.total") && n.contains("0 -> 40")),
+            "{}",
+            c.render()
+        );
+
+        // A pre-PR9 baseline lacks the notes key entirely: it parses
+        // leniently and compares cleanly against a report that carries
+        // unknown-to-it note keys (compared only where both sides have
+        // the key — here, nowhere).
+        let legacy = sample().to_json().replace(
+            "  \"notes\": {\n    \"degrade.transitions\": 0,\n    \
+             \"loadgen.shed.total\": 0,\n    \"queue_depth.peak\": 12\n  },\n",
+            "",
+        );
+        assert!(!legacy.contains("\"notes\""), "strip failed:\n{legacy}");
+        let parsed_legacy = BenchReport::from_json(&legacy).expect("legacy parse");
+        assert!(parsed_legacy.notes.is_empty());
+        let c = compare(&parsed_legacy, &new, 0.10, 0.02);
+        assert!(c.pass(), "{}", c.render());
+        assert!(
+            !c.notes.iter().any(|n| n.contains("loadgen.shed.total")),
+            "{}",
+            c.render()
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]
 //! revtr-cli engine-ab [--scale smoke|standard] [--seed N] [--workers N]
 //! revtr-cli concurrency-smoke [--inflight N] [--seed N]
+//! revtr-cli loadtest  [--scale smoke|standard] [--seed N] [--pattern steady|diurnal|flash-crowd|scan]
+//!                     [--duration H] [--out DIR]
 //! ```
 //!
 //! Every subcommand validates its flags against an allow-list
@@ -27,7 +29,7 @@ use revtr::{EngineConfig, HopMethod, RevtrSystem};
 use revtr_atlas::select_atlas_probes;
 use revtr_eval::cliargs::{self, Flags};
 use revtr_eval::{
-    audit, bench_report, economy, metrics, monitor, reproduce, robustness, scenarios,
+    audit, bench_report, economy, loadtest, metrics, monitor, reproduce, robustness, scenarios,
 };
 use revtr_netsim::{Addr, AsTier, ScenarioConfig, ScenarioProfile, Sim};
 use revtr_probing::Prober;
@@ -51,7 +53,8 @@ fn usage() -> ExitCode {
          revtr-cli bench-compare OLD.json NEW.json [--tol F] [--tol-quality F]\n  \
          revtr-cli economy   [--scale smoke|standard] [--seed N] [--min-cut F] [--tol-quality F]\n  \
          revtr-cli engine-ab [--scale smoke|standard] [--seed N] [--workers N]\n  \
-         revtr-cli concurrency-smoke [--inflight N] [--seed N]"
+         revtr-cli concurrency-smoke [--inflight N] [--seed N]\n  \
+         revtr-cli loadtest  [--scale smoke|standard] [--seed N] [--pattern steady|diurnal|flash-crowd|scan] [--duration H] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -593,6 +596,56 @@ fn cmd_engine_ab(flags: &Flags) -> ExitCode {
     }
 }
 
+fn cmd_loadtest(flags: &Flags) -> ExitCode {
+    let seed = match flags.seed() {
+        Ok(s) => s,
+        Err(e) => return flag_err(&e),
+    };
+    let scale_name = match flags.scale() {
+        Ok(_) => flags.scale_name(),
+        Err(e) => return flag_err(&e),
+    };
+    let name = flags.get("pattern").unwrap_or("steady");
+    let Some(pattern) = loadtest::Pattern::from_name(name) else {
+        return flag_err(&format!(
+            "unknown traffic pattern {name:?} (one of: {})",
+            loadtest::Pattern::ALL.map(|p| p.name()).join(", ")
+        ));
+    };
+    let mut cfg = loadtest::LoadtestConfig::new(pattern);
+    if let Some(d) = flags.get("duration") {
+        match d.parse::<f64>() {
+            Ok(v) if v > 0.0 && v.is_finite() => cfg.duration_hours = v,
+            _ => return flag_err("--duration must be a positive number of virtual hours"),
+        }
+    }
+    let report = match scale_name {
+        "standard" => loadtest::standard_seeded(seed.unwrap_or(1), &cfg),
+        _ => loadtest::smoke_seeded(seed.unwrap_or(1), &cfg),
+    };
+    if let Some(s) = seed {
+        println!("(master seed {s})");
+    }
+    println!("{}", report.render());
+    if let Some(dir) = flags.out_dir() {
+        match report.save_exports(dir) {
+            Ok(paths) => {
+                let shown: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
+                eprintln!("exports: {}", shown.join("  "));
+            }
+            Err(e) => {
+                eprintln!("could not write exports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_concurrency_smoke(flags: &Flags) -> ExitCode {
     let seed = match flags.seed() {
         Ok(s) => s,
@@ -637,6 +690,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         "economy" => &["scale", "seed", "min-cut", "tol-quality"],
         "engine-ab" => &["scale", "seed", "workers"],
         "concurrency-smoke" => &["inflight", "seed"],
+        "loadtest" => &["scale", "seed", "pattern", "duration", "out"],
         _ => return None,
     })
 }
@@ -678,6 +732,7 @@ fn main() -> ExitCode {
         "economy" => cmd_economy(&flags),
         "engine-ab" => cmd_engine_ab(&flags),
         "concurrency-smoke" => cmd_concurrency_smoke(&flags),
+        "loadtest" => cmd_loadtest(&flags),
         "bench-compare" => match positionals {
             [old, new] => cmd_bench_compare(old, new, &flags),
             _ => flag_err("bench-compare needs two positional report paths: OLD.json NEW.json"),

@@ -20,6 +20,7 @@ pub mod context;
 pub mod dbr_violations;
 pub mod economy;
 pub mod ip2as_ablation;
+pub mod loadtest;
 pub mod metrics;
 pub mod monitor;
 pub mod render;

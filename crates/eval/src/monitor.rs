@@ -36,7 +36,7 @@ use std::sync::Arc;
 /// the slowest clean request measured at seeds {1, 7, 42} (standard max
 /// 1 265 s, smoke max 243 s — see the calibration helper below), so on a
 /// healthy campaign any flag is a genuine regression.
-fn clean_deadline_ms(scale_name: &str) -> f64 {
+pub(crate) fn clean_deadline_ms(scale_name: &str) -> f64 {
     match scale_name {
         "standard" => 1_500_000.0,
         _ => 300_000.0,

@@ -14,7 +14,7 @@ fn exit_code(args: &[&str]) -> i32 {
     run(args).status.code().expect("exit code")
 }
 
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "topology",
     "measure",
     "reproduce",
@@ -27,6 +27,7 @@ const COMMANDS: [&str; 12] = [
     "economy",
     "engine-ab",
     "concurrency-smoke",
+    "loadtest",
 ];
 
 #[test]
@@ -68,6 +69,10 @@ fn bad_flag_values_exit_two() {
     assert_eq!(exit_code(&["bench-report", "--stop-sets", "2"]), 2);
     assert_eq!(exit_code(&["economy", "--min-cut", "1.5"]), 2);
     assert_eq!(exit_code(&["economy", "--tol-quality", "-0.1"]), 2);
+    assert_eq!(exit_code(&["loadtest", "--pattern", "tsunami"]), 2);
+    assert_eq!(exit_code(&["loadtest", "--duration", "0"]), 2);
+    assert_eq!(exit_code(&["loadtest", "--duration", "nan"]), 2);
+    assert_eq!(exit_code(&["loadtest", "--scale", "huge"]), 2);
 }
 
 #[test]
@@ -150,6 +155,32 @@ fn monitor_rejects_bad_fault_flags() {
     assert_eq!(exit_code(&["monitor", "--budget", "0"]), 2);
     assert_eq!(exit_code(&["monitor", "--deadline-ms", "-3"]), 2);
     assert_eq!(exit_code(&["monitor", "--scale", "huge"]), 2);
+}
+
+#[test]
+fn loadtest_smoke_flash_crowd_gates_and_exports() {
+    let dir = std::env::temp_dir().join(format!("revtr-cli-loadtest-{}", std::process::id()));
+    let out = run(&[
+        "loadtest",
+        "--scale",
+        "smoke",
+        "--seed",
+        "1",
+        "--pattern",
+        "flash-crowd",
+        "--duration",
+        "18",
+        "--out",
+        dir.to_str().expect("utf8 temp dir"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "loadtest failed: {stdout}");
+    assert!(stdout.contains("loadtest gate: PASS"), "stdout: {stdout}");
+    let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace export");
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""));
+    let curve = std::fs::read_to_string(dir.join("goodput_curve.tsv")).expect("curve export");
+    assert!(curve.lines().count() > 1, "curve: {curve}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -109,6 +109,19 @@ impl Clock {
         self.now_ms() / 1000.0
     }
 
+    /// Virtual milliseconds accumulated but not yet flushed into the
+    /// simulator's churn process (sum over all slots). The simulator's
+    /// own `now_hours` lags true virtual time by exactly this amount, so
+    /// `sim.now_hours() + pending_ms() / 3_600_000` is the authoritative
+    /// "now" — immediate like [`Clock::now_ms`], but also counting time
+    /// drivers advanced on the simulator directly.
+    pub fn pending_ms(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| f64::from_bits(s.pending_ms.load(Ordering::Relaxed)))
+            .sum()
+    }
+
     /// Virtual milliseconds advanced *by the calling thread* on this
     /// clock. Telemetry spans diff this around a measurement: the delta is
     /// exactly the virtual time that measurement charged, regardless of

@@ -15,10 +15,15 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod service;
 pub mod store;
 pub mod users;
 
+pub use admission::{
+    AdmissionPlan, ClassPolicy, ClassReport, LadderConfig, LevelTransition, OpenLoopOutcome,
+    ShedReason, TimedRequest,
+};
 pub use service::{RequestOptions, RevtrService, ServedRequest, ServiceError};
 pub use store::{ResultStore, StoreStats};
 pub use users::{ApiKey, RateLimits, UserDb, UserError};

@@ -118,6 +118,26 @@ impl<'s> RevtrService<'s> {
         &self.system
     }
 
+    /// The user registry (admission layers build on it).
+    pub(crate) fn users(&self) -> &UserDb {
+        &self.users
+    }
+
+    /// The service's virtual "now" in hours.
+    ///
+    /// This is the *authoritative* time source for admission decisions:
+    /// the simulator's `now_hours` lags true virtual time by whatever
+    /// the clock has accumulated but not yet flushed (up to a virtual
+    /// minute per clock slot), so a measurement charging probe time
+    /// right before a day boundary can cross it without the simulator
+    /// noticing until the next flush. Daily-quota day boundaries must
+    /// land at the same instant on the single-shot and campaign paths
+    /// regardless of flush state, so both paths — and any admission
+    /// layer built on the service — use this helper.
+    pub fn now_hours(&self) -> f64 {
+        self.system.sim().now_hours() + self.system.prober().clock().pending_ms() / 3_600_000.0
+    }
+
     /// The stuck-request watchdog report: served requests whose
     /// measurement overran the telemetry handle's virtual deadline,
     /// flagged with the deepest span open at the deadline. The service
@@ -196,7 +216,7 @@ impl<'s> RevtrService<'s> {
         opts: RequestOptions,
     ) -> Result<ServedRequest, ServiceError> {
         let tele = self.system.prober().telemetry();
-        let permit = match self.users.admit(key, src, self.system.sim().now_hours()) {
+        let permit = match self.users.admit(key, src, self.now_hours()) {
             Ok(p) => {
                 tele.counter_add("service.request.admitted", 1);
                 p
@@ -252,7 +272,7 @@ impl<'s> RevtrService<'s> {
         // per-user limits; the parallel-slot limit is replaced by the
         // dispatch quantum here).
         for &(_, src) in pairs {
-            let permit = self.users.admit(key, src, self.system.sim().now_hours())?;
+            let permit = self.users.admit(key, src, self.now_hours())?;
             drop(permit);
         }
         let workers = workers.max(1).min(pairs.len().max(1));

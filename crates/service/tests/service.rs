@@ -89,6 +89,61 @@ fn daily_quota_enforced() {
 }
 
 #[test]
+fn daily_quota_resets_across_unflushed_day_boundary() {
+    // Regression: the quota day used to be computed from the simulator's
+    // *flushed* clock alone, which lags true virtual time by up to one
+    // churn-flush threshold per slot — so a request arriving just after
+    // a virtual midnight could still be charged to (and rejected on) the
+    // previous day's exhausted quota. The service now keys the day on
+    // `now_hours()` = flushed time + the clock's pending (unflushed)
+    // milliseconds, so the straddling request below must admit.
+    let sim = Sim::build(SimConfig::tiny(), 57);
+    let service = build_service(&sim);
+    let key = service.add_user(
+        "boundary",
+        RateLimits {
+            max_parallel: 4,
+            max_per_day: 1,
+        },
+    );
+    let src = sim.topo().vp_sites[0].host;
+    service.add_source(key, src).expect("bootstrap");
+    let dst = responsive_dest(&sim, 5);
+
+    // Exhaust day 0.
+    service.request(key, dst, src).expect("inside quota");
+    assert_eq!(
+        service.request(key, dst, src).unwrap_err(),
+        ServiceError::User(UserError::DailyQuotaExceeded)
+    );
+
+    // Walk the clock to 30 virtual seconds short of midnight with one
+    // large (auto-flushing) advance, then cross the boundary with a
+    // small advance that stays below the flush threshold: the flushed
+    // clock still reads day 0 while the authoritative clock is in day 1.
+    let clock = service.system().prober().clock();
+    clock.flush(&sim);
+    let short_of_midnight = 24.0 - sim.now_hours() - 30_000.0 / 3_600_000.0;
+    clock.advance(short_of_midnight * 3_600_000.0, &sim);
+    clock.advance(45_000.0, &sim);
+    assert!(
+        sim.now_hours() < 24.0,
+        "flushed clock must still lag in day 0 (got {})",
+        sim.now_hours()
+    );
+    assert!(
+        service.now_hours() >= 24.0,
+        "authoritative clock must have crossed midnight (got {})",
+        service.now_hours()
+    );
+
+    // The straddling request is a day-1 request: quota must have reset.
+    service
+        .request(key, dst, src)
+        .expect("day-boundary request admits against the fresh day's quota");
+}
+
+#[test]
 fn batch_campaign_parallel_matches_serial() {
     let sim = Sim::build(SimConfig::tiny(), 54);
     let service = build_service(&sim);

@@ -775,6 +775,81 @@ fn hardening_never_loses_sound_coverage_under_scenarios() {
 }
 
 #[test]
+fn degraded_open_loop_campaigns_are_dispatch_worker_invariant() {
+    // The admission layer's open-loop path (token buckets, bounded
+    // queues, the degradation ladder) must inherit the engine's
+    // worker-invariance: a flash-crowd campaign that sheds, degrades,
+    // and recovers has to produce bit-identical per-arrival outcomes,
+    // per-class accounting, and ladder-transition logs across dispatch
+    // workers {1, 4, 16} — and the degraded results must still audit
+    // clean (zero AS-unsound paths) against the ground-truth oracle.
+    use revtr_suite::eval::loadtest::{self, LoadtestConfig, Pattern};
+    for seed in SEEDS {
+        let report = loadtest::smoke_seeded(seed, &LoadtestConfig::new(Pattern::FlashCrowd));
+        assert!(
+            report.determinism_failures.is_empty(),
+            "seed {seed}: {:?}",
+            report.determinism_failures
+        );
+        let bronze = report.arms[0]
+            .classes
+            .iter()
+            .find(|c| c.name == "bronze")
+            .expect("bronze class reported");
+        assert!(
+            bronze.stepdowns > 0 && bronze.served_by_level[1..].iter().sum::<u64>() > 0,
+            "seed {seed}: the arm never actually served degraded \
+             (stepdowns {}, served {:?})",
+            bronze.stepdowns,
+            bronze.served_by_level
+        );
+        let unsound = report
+            .derived
+            .iter()
+            .find(|(k, _)| k == "audit.as_unsound")
+            .map(|(_, v)| *v)
+            .expect("audit derived present");
+        assert_eq!(unsound, 0.0, "seed {seed}: degraded paths audit unsound");
+    }
+}
+
+#[test]
+fn flash_crowd_sheds_only_bronze_while_gold_holds_slo() {
+    // The must-fire protection property: a 10× flash crowd on the bronze
+    // portal must shed — but only from bronze, with gold and silver
+    // untouched, gold goodput at its SLO floor, and the ladder fully
+    // recovered by end of run. `report.pass()` folds in the whole
+    // judgment; the explicit asserts document what must fire.
+    use revtr_suite::eval::loadtest::{self, LoadtestConfig, Pattern};
+    for seed in SEEDS {
+        let report = loadtest::smoke_seeded(seed, &LoadtestConfig::new(Pattern::FlashCrowd));
+        assert!(report.pass(), "seed {seed}:\n{}", report.render());
+        let class = |name: &str| {
+            report.arms[0]
+                .classes
+                .iter()
+                .find(|c| c.name == name)
+                .cloned()
+                .expect("class reported")
+        };
+        let (gold, silver, bronze) = (class("gold"), class("silver"), class("bronze"));
+        assert!(bronze.shed_total() > 0, "seed {seed}: overload never shed");
+        assert_eq!(gold.shed_total(), 0, "seed {seed}: gold shed");
+        assert_eq!(silver.shed_total(), 0, "seed {seed}: silver shed");
+        assert!(
+            gold.goodput_ratio() >= 0.98,
+            "seed {seed}: gold goodput {:.4}",
+            gold.goodput_ratio()
+        );
+        assert_eq!(
+            bronze.final_level, 0,
+            "seed {seed}: ladder never recovered (level {})",
+            bronze.final_level
+        );
+    }
+}
+
+#[test]
 fn atlas_shrink_is_coverage_monotone_and_accuracy_stable() {
     for seed in SEEDS {
         let sim = Sim::build(base_cfg(), seed);
